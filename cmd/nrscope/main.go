@@ -1,0 +1,222 @@
+// Command nrscope runs the telemetry tool against a simulated 5G SA
+// cell: it acquires MIB/SIB1, tracks UE associations through the RACH,
+// decodes every UE's DCIs per TTI, and writes the telemetry log —
+// optionally streaming it over TCP to application servers, the paper's
+// §6 feedback path.
+//
+// Usage:
+//
+//	nrscope -cell amarisoft -ues 4 -duration 10s -threads 4 \
+//	        -log telemetry.jsonl -stream 127.0.0.1:9900
+//	nrscope -record capture.nrsc -duration 10s     # save the air capture
+//	nrscope -replay capture.nrsc -log t.jsonl      # post-process offline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"nrscope"
+	"nrscope/internal/capfile"
+	"nrscope/internal/telemetry"
+)
+
+func main() {
+	var (
+		cellName = flag.String("cell", "amarisoft", "cell preset: srsran|mosolab|amarisoft|tmobile1|tmobile2")
+		ues      = flag.Int("ues", 2, "number of simulated UEs")
+		duration = flag.Duration("duration", 5*time.Second, "capture duration")
+		threads  = flag.Int("threads", 1, "DCI decoding threads")
+		seed     = flag.Int64("seed", 1, "random seed")
+		logPath  = flag.String("log", "", "telemetry JSONL output file")
+		stream   = flag.String("stream", "", "TCP address to serve live telemetry on")
+		noVerify = flag.Bool("skip-msg4-verify", false, "skip RRC Setup PDSCH verification of new UEs (paper's shortcut)")
+		record   = flag.String("record", "", "save the raw capture stream to this file")
+		replay   = flag.String("replay", "", "process a recorded capture file instead of live slots")
+	)
+	flag.Parse()
+
+	opts := []nrscope.Option{nrscope.WithDCIThreads(*threads)}
+	if *noVerify {
+		opts = append(opts, nrscope.WithVerifyMSG4(false))
+	}
+	if *replay != "" {
+		runReplay(*replay, *logPath, opts)
+		return
+	}
+
+	preset, err := presetByName(*cellName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb, err := nrscope.NewTestbed(preset, *seed, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < *ues; i++ {
+		tb.AttachUE(nrscope.UEProfile{})
+	}
+
+	var recorder *capfile.Writer
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg := tb.GNB.Config()
+		recorder, err = capfile.NewWriter(f, capfile.Header{
+			CellID: cfg.CellID, Mu: cfg.Mu, NumPRB: cfg.CarrierPRBs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer recorder.Close()
+	}
+
+	var writer *telemetry.Writer
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		writer = telemetry.NewWriter(f)
+		defer writer.Flush()
+	}
+	var server *telemetry.Server
+	if *stream != "" {
+		server, err = telemetry.NewServer(*stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer server.Close()
+		fmt.Fprintf(os.Stderr, "nrscope: streaming telemetry on %s\n", server.Addr())
+	}
+
+	var records, newUEs int
+	var elapsed time.Duration
+	var processed int
+	handle := func(res *nrscope.SlotResult) {
+		if res.MIBAcquired {
+			fmt.Fprintf(os.Stderr, "nrscope: MIB acquired at slot %d\n", res.SlotIdx)
+		}
+		if res.SIB1Acquired {
+			fmt.Fprintf(os.Stderr, "nrscope: SIB1 acquired at slot %d\n", res.SlotIdx)
+		}
+		newUEs += len(res.NewUEs)
+		for _, rnti := range res.NewUEs {
+			fmt.Fprintf(os.Stderr, "nrscope: new UE c-rnti=0x%04x at slot %d\n", rnti, res.SlotIdx)
+		}
+		for _, rec := range res.Records {
+			records++
+			if writer != nil {
+				if err := writer.Write(rec); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if server != nil {
+				server.Publish(rec)
+			}
+		}
+		elapsed += res.Elapsed
+		processed++
+	}
+	slots := int(*duration / tb.TTI())
+	for i := 0; i < slots; i++ {
+		cap, res := tb.StepCapture()
+		if recorder != nil {
+			if err := recorder.Append(cap); err != nil {
+				log.Fatal(err)
+			}
+		}
+		handle(res)
+	}
+	if recorder != nil {
+		fmt.Fprintf(os.Stderr, "nrscope: recorded %d slots to %s\n", recorder.Slots(), *record)
+	}
+
+	fmt.Fprintf(os.Stderr, "nrscope: %d records, %d UEs discovered, mean processing %.1f us/slot\n",
+		records, newUEs, float64(elapsed.Microseconds())/float64(processed))
+	for _, rnti := range tb.Scope.KnownUEs() {
+		dl := tb.Scope.Bitrate(rnti, true, tb.GNB.SlotIdx())
+		ul := tb.Scope.Bitrate(rnti, false, tb.GNB.SlotIdx())
+		fmt.Fprintf(os.Stderr, "  ue 0x%04x: DL %.2f Mbps, UL %.2f Mbps\n", rnti, dl/1e6, ul/1e6)
+	}
+}
+
+// runReplay post-processes a recorded capture file offline (§4: the
+// worker pool's on-demand mode; §7: the post-processing library).
+func runReplay(path, logPath string, opts []nrscope.Option) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := capfile.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hdr := r.Header()
+	fmt.Fprintf(os.Stderr, "nrscope: replaying cell %d (%v, %d PRBs) from %s\n",
+		hdr.CellID, hdr.Mu, hdr.NumPRB, path)
+	scope := nrscope.New(hdr.CellID, opts...)
+
+	var writer *telemetry.Writer
+	if logPath != "" {
+		out, err := os.Create(logPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+		writer = telemetry.NewWriter(out)
+		defer writer.Flush()
+	}
+	records, slots, lastSlot := 0, 0, 0
+	for {
+		cap, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := scope.ProcessSlot(cap)
+		slots++
+		lastSlot = res.SlotIdx
+		for _, rec := range res.Records {
+			records++
+			if writer != nil {
+				if err := writer.Write(rec); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "nrscope: replayed %d slots, %d records, %d UEs tracked\n",
+		slots, records, len(scope.KnownUEs()))
+	for _, rnti := range scope.KnownUEs() {
+		fmt.Fprintf(os.Stderr, "  ue 0x%04x: DL %.2f Mbps\n", rnti, scope.Bitrate(rnti, true, lastSlot)/1e6)
+	}
+}
+
+func presetByName(name string) (nrscope.Preset, error) {
+	switch name {
+	case "srsran":
+		return nrscope.SrsRANPreset, nil
+	case "mosolab":
+		return nrscope.MosolabPreset, nil
+	case "amarisoft":
+		return nrscope.AmarisoftPreset, nil
+	case "tmobile1":
+		return nrscope.TMobile1Preset, nil
+	case "tmobile2":
+		return nrscope.TMobile2Preset, nil
+	default:
+		return 0, fmt.Errorf("unknown cell %q", name)
+	}
+}

@@ -1,0 +1,77 @@
+// UE behaviour measurement (paper §5.3.1 / Figs. 10-11): point NR-Scope
+// at a busy commercial-style cell with churning users and measure, out
+// of loop, how long UEs stay and how many are scheduled per second —
+// the "come-and-go" pattern of real cellular networks.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nrscope/internal/channel"
+	"nrscope/internal/core"
+	"nrscope/internal/radio"
+	"nrscope/internal/ran"
+)
+
+func main() {
+	cfg := ran.TMobileCell(1)
+	cfg.Seed = 23
+	gnb, err := ran.NewGNB(cfg, 1<<21)
+	if err != nil {
+		panic(err)
+	}
+	pop := ran.DefaultPopulation()
+	pop.ArrivalsPerSecond = 1.5
+	gnb.SetPopulation(pop)
+
+	rx := radio.NewReceiver(channel.Normal, 16, 99).Reuse(true)
+	scope := core.New(cfg.CellID,
+		core.WithInactivityTimeout(int(2*time.Second/cfg.TTI())))
+
+	duration := 30 * time.Second
+	slots := int(duration / cfg.TTI())
+	perSecond := map[int]map[uint16]bool{}
+	for i := 0; i < slots; i++ {
+		out := gnb.Step()
+		res := scope.ProcessSlot(rx.Capture(out.SlotIdx, out.Ref, out.Grid))
+		sec := int(float64(out.SlotIdx) * cfg.TTI().Seconds())
+		for _, rec := range res.Records {
+			if rec.Common {
+				continue
+			}
+			if perSecond[sec] == nil {
+				perSecond[sec] = map[uint16]bool{}
+			}
+			perSecond[sec][rec.RNTI] = true
+		}
+	}
+
+	// Session lengths (Fig. 10).
+	var sessions []float64
+	for _, a := range scope.DepartedUEs() {
+		sessions = append(sessions, float64(a.ActiveSlots())*cfg.TTI().Seconds())
+	}
+	for _, rnti := range scope.KnownUEs() {
+		if tr := scope.Track(rnti); tr != nil {
+			sessions = append(sessions, float64(tr.LastSeen-tr.FirstSeen+1)*cfg.TTI().Seconds())
+		}
+	}
+	sort.Float64s(sessions)
+	fmt.Printf("observed %d UE sessions in %v of air time\n", len(sessions), duration)
+	if n := len(sessions); n > 0 {
+		fmt.Printf("  median active time: %5.1f s\n", sessions[n/2])
+		fmt.Printf("  p90 active time:    %5.1f s  (paper: 90%% of UEs stay < 35 s)\n", sessions[n*9/10])
+	}
+
+	// Scheduled UEs per second (Fig. 11).
+	var counts []int
+	for _, m := range perSecond {
+		counts = append(counts, len(m))
+	}
+	sort.Ints(counts)
+	if n := len(counts); n > 0 {
+		fmt.Printf("scheduled UEs per second: median %d, max %d\n", counts[n/2], counts[n-1])
+	}
+}

@@ -1,0 +1,3 @@
+module nrscope
+
+go 1.22

@@ -1,0 +1,75 @@
+package bits
+
+// Gold sequence generator from TS 38.211 §5.2.1. Pseudo-random sequences
+// in NR (scrambling, DMRS) are length-31 Gold sequences:
+//
+//	c(n)      = (x1(n+Nc) + x2(n+Nc)) mod 2, Nc = 1600
+//	x1(n+31)  = (x1(n+3) + x1(n)) mod 2
+//	x2(n+31)  = (x2(n+3) + x2(n+2) + x2(n+1) + x2(n)) mod 2
+//
+// x1 is initialised with x1(0)=1, x1(n)=0 for n=1..30; x2 with the 31-bit
+// cinit supplied by the physical channel (e.g. PDCCH DMRS uses a function
+// of slot, symbol and the configured scrambling id).
+
+const goldNc = 1600
+
+// GoldSequence returns the first n bits of the Gold sequence with the
+// given initialisation value cinit.
+func GoldSequence(cinit uint32, n int) []uint8 {
+	out := make([]uint8, n)
+	GoldSequenceInto(cinit, out)
+	return out
+}
+
+// GoldSequenceInto fills dst with the Gold sequence for cinit, avoiding an
+// allocation on hot paths (per-slot scrambling).
+func GoldSequenceInto(cinit uint32, dst []uint8) {
+	n := len(dst)
+	total := goldNc + n + 31
+	x1 := make([]uint8, total)
+	x2 := make([]uint8, total)
+	x1[0] = 1
+	for i := 0; i < 31; i++ {
+		x2[i] = uint8(cinit>>uint(i)) & 1
+	}
+	for i := 0; i+31 < total; i++ {
+		x1[i+31] = x1[i+3] ^ x1[i]
+		x2[i+31] = x2[i+3] ^ x2[i+2] ^ x2[i+1] ^ x2[i]
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = x1[i+goldNc] ^ x2[i+goldNc]
+	}
+}
+
+// ScrambleInPlace XORs data with the Gold sequence for cinit, in place.
+// Applying it twice with the same cinit restores the original data.
+func ScrambleInPlace(cinit uint32, data []uint8) {
+	seq := make([]uint8, len(data))
+	GoldSequenceInto(cinit, seq)
+	for i := range data {
+		data[i] ^= seq[i]
+	}
+}
+
+// PDCCHScramblingInit computes the cinit for PDCCH bit scrambling
+// (TS 38.211 §7.3.2.3): cinit = (nRNTI·2^16 + nID) mod 2^31. For the
+// common search space nRNTI is 0 and nID is the cell id.
+func PDCCHScramblingInit(nRNTI uint16, nID uint16) uint32 {
+	return (uint32(nRNTI)<<16 + uint32(nID)) & 0x7FFFFFFF
+}
+
+// PDCCHDMRSInit computes the cinit for PDCCH DMRS generation
+// (TS 38.211 §7.4.1.3.1) for a given slot and symbol:
+// cinit = (2^17 (14·ns + l + 1)(2·nID + 1) + 2·nID) mod 2^31.
+func PDCCHDMRSInit(slot, symbol int, nID uint16) uint32 {
+	v := (uint64(1) << 17) * uint64(14*slot+symbol+1) * uint64(2*uint32(nID)+1)
+	v += 2 * uint64(nID)
+	return uint32(v & 0x7FFFFFFF)
+}
+
+// PDSCHScramblingInit computes the cinit for PDSCH bit scrambling
+// (TS 38.211 §7.3.1.1): cinit = nRNTI·2^15 + q·2^14 + nID, with codeword
+// index q (0 here; single-codeword transmission).
+func PDSCHScramblingInit(rnti uint16, nID uint16) uint32 {
+	return (uint32(rnti)<<15 + uint32(nID)) & 0x7FFFFFFF
+}

@@ -1,0 +1,202 @@
+// Package convcode implements a constraint-length-7, rate-1/3
+// convolutional code with a soft-decision Viterbi decoder.
+//
+// It stands in for the 5G LDPC shared-channel FEC (TS 38.212 §5.3.2); see
+// DESIGN.md §2 for the substitution rationale. The generator polynomials
+// are the classic ones used by LTE's tail-biting convolutional code
+// (TS 36.212 §5.1.3.1): g0 = 133, g1 = 171, g2 = 165 (octal). The encoder
+// here is zero-tailed: six flush bits return the trellis to state zero so
+// the decoder can start and end in a known state.
+//
+// Rate matching to an arbitrary number of channel bits E is done by
+// cyclic repetition (E >= coded length) or by even puncturing (E smaller),
+// with erased positions receiving zero LLR at the decoder.
+package convcode
+
+import "fmt"
+
+const (
+	constraintLen = 7
+	memory        = constraintLen - 1
+	numStates     = 1 << memory
+	rateInv       = 3 // rate 1/3: three output bits per input bit
+)
+
+// Generator polynomials 133, 171, 165 (octal), constraint length 7.
+var generators = [rateInv]uint32{0o133, 0o171, 0o165}
+
+// outputTable[state][input] is the 3-bit output for a transition.
+var outputTable [numStates][2]uint8
+
+// nextState[state][input] is the successor trellis state.
+var nextState [numStates][2]uint8
+
+func init() {
+	for s := 0; s < numStates; s++ {
+		for in := 0; in < 2; in++ {
+			reg := uint32(in)<<memory | uint32(s)
+			var out uint8
+			for g := 0; g < rateInv; g++ {
+				out <<= 1
+				out |= uint8(parity32(reg & generators[g]))
+			}
+			outputTable[s][in] = out
+			nextState[s][in] = uint8(reg >> 1)
+		}
+	}
+}
+
+func parity32(v uint32) uint32 {
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v & 1
+}
+
+// CodedLen returns the number of coded bits produced for k input bits
+// (including the six flush bits).
+func CodedLen(k int) int { return (k + memory) * rateInv }
+
+// Encode convolutionally encodes the input bits, appending six zero flush
+// bits, and returns the coded bit stream of length CodedLen(len(info)).
+func Encode(info []uint8) []uint8 {
+	out := make([]uint8, 0, CodedLen(len(info)))
+	state := uint8(0)
+	emit := func(bit uint8) {
+		o := outputTable[state][bit&1]
+		out = append(out, o>>2&1, o>>1&1, o&1)
+		state = nextState[state][bit&1]
+	}
+	for _, b := range info {
+		emit(b)
+	}
+	for i := 0; i < memory; i++ {
+		emit(0)
+	}
+	return out
+}
+
+// RateMatch adapts coded bits to exactly e channel bits: repetition when
+// e exceeds the coded length, even puncturing otherwise. It returns an
+// error when e is smaller than half the coded length (the decoder needs
+// rate <= 2/3 overall to stay useful).
+func RateMatch(coded []uint8, e int) ([]uint8, error) {
+	n := len(coded)
+	if e >= n {
+		out := make([]uint8, e)
+		for i := range out {
+			out[i] = coded[i%n]
+		}
+		return out, nil
+	}
+	if e < n/2 {
+		return nil, fmt.Errorf("convcode: E = %d punctures more than half of %d coded bits", e, n)
+	}
+	// Even puncturing: keep positions spread uniformly.
+	out := make([]uint8, e)
+	for i := 0; i < e; i++ {
+		out[i] = coded[i*n/e]
+	}
+	return out, nil
+}
+
+// RateRecover expands e channel LLRs back to the coded length n:
+// repeated positions accumulate, punctured positions stay at zero LLR.
+func RateRecover(llr []float64, n int) []float64 {
+	e := len(llr)
+	out := make([]float64, n)
+	if e >= n {
+		for i, v := range llr {
+			out[i%n] += v
+		}
+		return out
+	}
+	for i := 0; i < e; i++ {
+		out[i*n/e] += llr[i]
+	}
+	return out
+}
+
+// Decode runs soft-decision Viterbi decoding over coded-bit LLRs
+// (positive = bit 0 likelier). len(llr) must equal CodedLen(k) for the
+// original info length k, which the caller supplies. It returns the k
+// decoded information bits.
+func Decode(llr []float64, k int) []uint8 {
+	steps := k + memory
+	if len(llr) != steps*rateInv {
+		panic(fmt.Sprintf("convcode: got %d LLRs for k = %d (want %d)", len(llr), k, steps*rateInv))
+	}
+	const inf = 1e300
+	metric := make([]float64, numStates)
+	next := make([]float64, numStates)
+	for s := 1; s < numStates; s++ {
+		metric[s] = -inf // trellis starts in state 0
+	}
+	// survivors[t][s] is the input bit that led into state s at step t.
+	survivors := make([][numStates]uint8, steps)
+	prevOf := make([][numStates]uint8, steps)
+
+	for t := 0; t < steps; t++ {
+		for s := range next {
+			next[s] = -inf
+		}
+		l0 := llr[t*rateInv]
+		l1 := llr[t*rateInv+1]
+		l2 := llr[t*rateInv+2]
+		for s := 0; s < numStates; s++ {
+			if metric[s] == -inf {
+				continue
+			}
+			for in := uint8(0); in < 2; in++ {
+				o := outputTable[s][in]
+				// Branch metric: +LLR when the output bit is 0.
+				m := metric[s]
+				if o>>2&1 == 0 {
+					m += l0
+				} else {
+					m -= l0
+				}
+				if o>>1&1 == 0 {
+					m += l1
+				} else {
+					m -= l1
+				}
+				if o&1 == 0 {
+					m += l2
+				} else {
+					m -= l2
+				}
+				ns := nextState[s][in]
+				if m > next[ns] {
+					next[ns] = m
+					survivors[t][ns] = in
+					prevOf[t][ns] = uint8(s)
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	// Trace back from state 0 (zero-tailed).
+	out := make([]uint8, steps)
+	state := uint8(0)
+	for t := steps - 1; t >= 0; t-- {
+		out[t] = survivors[t][state]
+		state = prevOf[t][state]
+	}
+	return out[:k]
+}
+
+// EncodeAndMatch is a convenience that encodes info and rate-matches to e
+// channel bits in one step.
+func EncodeAndMatch(info []uint8, e int) ([]uint8, error) {
+	return RateMatch(Encode(info), e)
+}
+
+// RecoverAndDecode is the receive-side convenience: rate-recovers e LLRs
+// for an original info length k and Viterbi-decodes.
+func RecoverAndDecode(llr []float64, k int) []uint8 {
+	return Decode(RateRecover(llr, CodedLen(k)), k)
+}

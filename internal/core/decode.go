@@ -1,0 +1,357 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"nrscope/internal/bits"
+	"nrscope/internal/dci"
+	"nrscope/internal/mcs"
+	"nrscope/internal/pdsch"
+	"nrscope/internal/phy"
+	"nrscope/internal/radio"
+	"nrscope/internal/rrc"
+)
+
+// snapshot is the read-only state a decode pass runs against (the
+// paper's "state copy" handed from the scheduler to a worker).
+type snapshot struct {
+	mib        *rrc.MIB
+	sib1       *rrc.SIB1
+	setup      *rrc.Setup
+	coreset    phy.CORESET
+	ueCoreset  phy.CORESET
+	commonSS   phy.SearchSpace
+	ueSS       phy.SearchSpace
+	commonCfg  dci.Config
+	dataCfg    dci.Config
+	link       dci.LinkConfig
+	rntis      []uint16
+	threads    int
+	verifyMSG4 bool
+	dmrsGate   bool
+}
+
+// foundDCI is one successfully decoded and translated DCI.
+type foundDCI struct {
+	rnti  uint16
+	d     dci.DCI
+	grant dci.Grant
+	cand  phy.Candidate
+}
+
+// newUE is a MSG4 discovery: the RNTI recovered from the CRC XOR.
+type newUE struct {
+	rnti  uint16
+	grant dci.Grant
+	cand  phy.Candidate
+}
+
+// decodeResult is everything a decode pass found in one slot.
+type decodeResult struct {
+	slotIdx int
+	ref     phy.SlotRef
+	hadGrid bool
+
+	mib    *rrc.MIB
+	sib1   *rrc.SIB1
+	setup  *rrc.Setup
+	common []foundDCI
+	newUEs []newUE
+	data   []foundDCI
+
+	elapsed time.Duration
+}
+
+// raRNTILookback is how many recent slots' RA-RNTIs are excluded from
+// new-UE discovery (a RAR's CRC recovers to the RA-RNTI of its own
+// slot; the window absorbs scheduling jitter).
+const raRNTILookback = 5
+
+// decodeSlot is the pure (state-immutable) per-slot processing: the
+// "SIBs thread", "RACH thread" and "DCI threads" of the paper's Fig. 4
+// all run here against the snapshot.
+func (s *Scope) decodeSlot(snap *snapshot, cap *radio.Capture) *decodeResult {
+	start := time.Now()
+	res := &decodeResult{slotIdx: cap.SlotIdx, ref: cap.Ref}
+	defer func() { res.elapsed = time.Since(start) }()
+	if cap.Grid == nil {
+		return res
+	}
+	res.hadGrid = true
+
+	// Cell search: until the MIB is in hand nothing else can run.
+	if snap.mib == nil {
+		if data, ok := pdsch.DecodePBCH(cap.Grid, s.cellID, cap.N0); ok {
+			if mib, err := rrc.DecodeMIB(data); err == nil && !mib.CellBarred {
+				res.mib = &mib
+			}
+		}
+		return res
+	}
+
+	// One DMRS-correlation sweep over the CORESET feeds both passes —
+	// this plus the demapping is the "signal processing" term of the
+	// paper's O(n log n + m) cost model. With the gate ablated, every
+	// CCE is treated as potentially occupied.
+	var occupied []bool
+	if snap.dmrsGate {
+		occupied = s.codec.OccupiedCCEs(cap.Grid, snap.coreset, cap.Ref.Slot)
+	} else {
+		occupied = make([]bool, snap.coreset.NumCCE())
+		for i := range occupied {
+			occupied[i] = true
+		}
+	}
+
+	// CSS pass: SIB decoding and RACH/new-UE tracking.
+	claimed := s.decodeCommon(snap, cap, res, occupied)
+
+	// USS pass: DCI extraction for every known UE, sharded over the DCI
+	// threads (§4: "UE list is sharded among threads"). It needs both
+	// SIB1 (the active-BWP DCI sizes) and an RRC Setup (the UE search
+	// space) — the paper's step 1 before step 2.
+	if snap.sib1 != nil && snap.setup != nil && len(snap.rntis) > 0 {
+		s.decodeUESpace(snap, cap, res, occupied, claimed)
+	}
+	return res
+}
+
+// decodeCommon scans the common search space. It returns the CCE-claim
+// mask so the USS pass skips already-explained CCEs.
+func (s *Scope) decodeCommon(snap *snapshot, cap *radio.Capture, res *decodeResult, occupied []bool) []bool {
+	claimed := make([]bool, len(occupied))
+	fallbackSize := dci.ClassSize(dci.Fallback, snap.commonCfg)
+
+	for _, cand := range phy.SlotCandidates(snap.commonSS, snap.coreset, 0, cap.Ref.Slot) {
+		if !spanTrue(occupied, cand.StartCCE, cand.AggLevel) || anyTrue(claimed, cand.StartCCE, cand.AggLevel) {
+			continue
+		}
+		block, err := s.codec.DecodeCandidate(cap.Grid, snap.coreset, cand, cap.Ref.Slot, fallbackSize, cap.N0)
+		if err != nil {
+			continue
+		}
+		payload, rnti, ok := bits.RecoverRNTI(block)
+		if !ok {
+			continue
+		}
+		d, err := dci.Unpack(payload, dci.Fallback, snap.commonCfg)
+		if err != nil {
+			continue
+		}
+		grant, err := dci.ToGrant(d, rnti, snap.commonCfg, controlLink())
+		if err != nil {
+			continue
+		}
+		// CCEs are claimed only for accepted finds: a RecoverRNTI false
+		// positive on top of somebody's data DCI (the 8 visible CRC bits
+		// pass by chance 1 in 256) must not shadow the USS pass.
+
+		switch {
+		case rnti == dci.SIRNTI:
+			if snap.sib1 == nil && res.sib1 == nil {
+				if data, ok := pdsch.Decode(cap.Grid, grant, s.cellID, cap.N0); ok {
+					if sib1, err := rrc.DecodeSIB1(data); err == nil {
+						res.sib1 = &sib1
+					}
+				}
+			}
+			res.common = append(res.common, foundDCI{rnti: rnti, d: d, grant: grant, cand: cand})
+			markTrue(claimed, cand.StartCCE, cand.AggLevel)
+		case isRecentRARNTI(rnti, cap.SlotIdx):
+			res.common = append(res.common, foundDCI{rnti: rnti, d: d, grant: grant, cand: cand})
+			markTrue(claimed, cand.StartCCE, cand.AggLevel)
+		default:
+			// Candidate MSG 4: the recovered RNTI is a would-be C-RNTI
+			// (paper §3.1.2). Verify via the RRC Setup PDSCH CRC unless
+			// the shortcut is on and the Setup is already known.
+			if snap.setup == nil || snap.verifyMSG4 {
+				data, ok := pdsch.Decode(cap.Grid, grant, s.cellID, cap.N0)
+				if !ok {
+					continue
+				}
+				setup, err := rrc.DecodeSetup(data)
+				if err != nil {
+					continue
+				}
+				if snap.setup == nil && res.setup == nil {
+					res.setup = &setup
+				}
+			}
+			res.newUEs = append(res.newUEs, newUE{rnti: rnti, grant: grant, cand: cand})
+			markTrue(claimed, cand.StartCCE, cand.AggLevel)
+		}
+	}
+	return claimed
+}
+
+// decodeUESpace blind-decodes every known UE's search-space candidates.
+//
+// The heavy half of a candidate decode — demapping, descrambling and the
+// polar SC pass — does not depend on the RNTI: PDCCH payload scrambling
+// uses the cell id (TS 38.211 §7.3.2.3 without a configured UE
+// scrambling id), and the RNTI only appears in the CRC mask. So each
+// AL-aligned candidate position is decoded once per slot (at most
+// sum(NumCCE/AL) positions, independent of the UE count) and the per-UE
+// sweep reduces to hash-position lookups and CRC checks. The remaining
+// per-UE work is what the DCI threads shard (§4).
+func (s *Scope) decodeUESpace(snap *snapshot, cap *radio.Capture, res *decodeResult, occupied, claimed []bool) {
+	sizeClass := dci.Fallback
+	cfg := snap.dataCfg
+	if snap.setup.NonFallback {
+		sizeClass = dci.NonFallback
+	}
+	payloadBits := dci.ClassSize(sizeClass, cfg)
+	cache := s.decodePositions(snap, cap, payloadBits, occupied, claimed)
+
+	workers := snap.threads
+	if workers > len(snap.rntis) {
+		workers = len(snap.rntis)
+	}
+	if workers <= 1 {
+		var out []foundDCI
+		for _, rnti := range snap.rntis {
+			out = s.decodeOneUE(snap, cap, rnti, sizeClass, cfg, cache, out)
+		}
+		res.data = out
+		return
+	}
+	found := make([][]foundDCI, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var out []foundDCI
+			for i := w; i < len(snap.rntis); i += workers {
+				rnti := snap.rntis[i]
+				out = s.decodeOneUE(snap, cap, rnti, sizeClass, cfg, cache, out)
+			}
+			found[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for _, out := range found {
+		res.data = append(res.data, out...)
+	}
+}
+
+// posKey identifies an AL-aligned candidate position.
+type posKey struct {
+	al  int
+	cce int
+}
+
+// decodePositions runs the RNTI-independent half of the blind decode for
+// every occupied, unclaimed candidate position of the UE search space.
+func (s *Scope) decodePositions(snap *snapshot, cap *radio.Capture, payloadBits int, occupied, claimed []bool) map[posKey][]uint8 {
+	cache := make(map[posKey][]uint8)
+	for _, al := range phy.AggregationLevels {
+		if snap.ueSS.Candidates[al] == 0 {
+			continue
+		}
+		for cce := 0; cce+al <= snap.ueCoreset.NumCCE(); cce += al {
+			if !spanTrue(occupied, cce, al) || anyTrue(claimed, cce, al) {
+				continue
+			}
+			cand := phy.Candidate{AggLevel: al, StartCCE: cce}
+			block, err := s.codec.DecodeCandidate(cap.Grid, snap.ueCoreset, cand, cap.Ref.Slot, payloadBits, cap.N0)
+			if err != nil {
+				continue
+			}
+			cache[posKey{al, cce}] = block
+		}
+	}
+	return cache
+}
+
+// decodeOneUE sweeps one UE's candidates against the position cache. A
+// UE can legitimately receive several DCIs in one TTI (a retransmission
+// plus new data, or a downlink assignment plus an uplink grant), so
+// every CRC-passing candidate is kept; candidates whose CCEs were
+// already explained by a previous hit of this UE are skipped.
+func (s *Scope) decodeOneUE(snap *snapshot, cap *radio.Capture, rnti uint16, sizeClass dci.SizeClass, cfg dci.Config, cache map[posKey][]uint8, out []foundDCI) []foundDCI {
+	var mine []phy.Candidate // candidates already decoded for this UE
+	for _, cand := range phy.SlotCandidates(snap.ueSS, snap.ueCoreset, rnti, cap.Ref.Slot) {
+		block, ok := cache[posKey{cand.AggLevel, cand.StartCCE}]
+		if !ok {
+			continue
+		}
+		if overlapsAny(mine, cand) {
+			continue
+		}
+		payload, ok := bits.CheckDCICRC(block, rnti)
+		if !ok {
+			continue
+		}
+		d, err := dci.Unpack(payload, sizeClass, cfg)
+		if err != nil {
+			continue
+		}
+		grant, err := dci.ToGrant(d, rnti, cfg, snap.link)
+		if err != nil {
+			continue
+		}
+		mine = append(mine, cand)
+		out = append(out, foundDCI{rnti: rnti, d: d, grant: grant, cand: cand})
+	}
+	return out
+}
+
+// overlapsAny reports whether cand shares CCEs with any prior hit.
+func overlapsAny(prev []phy.Candidate, cand phy.Candidate) bool {
+	for _, p := range prev {
+		if cand.StartCCE < p.StartCCE+p.AggLevel && p.StartCCE < cand.StartCCE+cand.AggLevel {
+			return true
+		}
+	}
+	return false
+}
+
+// controlLink mirrors the fallback-format link parameters (single
+// layer, 64QAM table) that DCI 1_0 grants always use.
+func controlLink() dci.LinkConfig {
+	return dci.LinkConfig{DMRSPerPRB: 12, Overhead: 0, Layers: 1, Table: mcs.TableQAM64}
+}
+
+func isRecentRARNTI(rnti uint16, slotIdx int) bool {
+	for k := 0; k < raRNTILookback; k++ {
+		if slotIdx-k < 0 {
+			break
+		}
+		if rnti == dci.RARNTI(slotIdx-k) {
+			return true
+		}
+	}
+	return false
+}
+
+func spanTrue(mask []bool, start, n int) bool {
+	if start < 0 || start+n > len(mask) {
+		return false
+	}
+	for i := start; i < start+n; i++ {
+		if !mask[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func anyTrue(mask []bool, start, n int) bool {
+	if start < 0 || start+n > len(mask) {
+		return true
+	}
+	for i := start; i < start+n; i++ {
+		if mask[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func markTrue(mask []bool, start, n int) {
+	for i := start; i < start+n && i < len(mask); i++ {
+		mask[i] = true
+	}
+}

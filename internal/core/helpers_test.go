@@ -1,0 +1,6 @@
+package core
+
+import "nrscope/internal/mcs"
+
+// mcsTableQAM64 avoids importing mcs at every use site in the big test file.
+func mcsTableQAM64() mcs.Table { return mcs.TableQAM64 }

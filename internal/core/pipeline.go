@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"nrscope/internal/radio"
+)
+
+// Pipeline is the asynchronous processing architecture of the paper's
+// Fig. 4: a scheduler feeds slot captures (with a copy of the current
+// state) to a pool of workers; each worker runs the SIB/RACH/DCI
+// processing; results flow through a result queue back to the scheduler,
+// which merges them in slot order, updating the shared state (known UE
+// list, cell configuration) and emitting SlotResults.
+//
+// The worker pool enables on-demand processing: slots queue up when the
+// host is busy and drain later, lowering the CPU requirement when
+// real-time output is not needed (§4).
+type Pipeline struct {
+	scope   *Scope
+	workers int
+
+	mu      sync.Mutex // guards scope state (snapshot vs merge)
+	in      chan *radio.Capture
+	results chan *SlotResult
+	wg      sync.WaitGroup
+
+	firstOnce sync.Once
+	first     chan int // slot index of the first async submission
+
+	// async flips once the cell is acquired. Until then Submit processes
+	// slots synchronously: cell search is a strict prerequisite of
+	// everything else (paper Fig. 2 step 1), and racing workers past an
+	// unmerged MIB/SIB1 would silently drop one-shot MSG4s.
+	async bool
+}
+
+// NewPipeline wraps a scope in an asynchronous pipeline with the given
+// worker count and queue depth.
+func NewPipeline(scope *Scope, workers, queueDepth int) *Pipeline {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < workers {
+		queueDepth = workers
+	}
+	p := &Pipeline{
+		scope:   scope,
+		workers: workers,
+		in:      make(chan *radio.Capture, queueDepth),
+		results: make(chan *SlotResult, queueDepth),
+		first:   make(chan int, 1),
+	}
+	p.start()
+	return p
+}
+
+// start launches the workers and the merging scheduler.
+func (p *Pipeline) start() {
+	decoded := make(chan *decodeResult, p.workers*2)
+
+	var workerWG sync.WaitGroup
+	for i := 0; i < p.workers; i++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for cap := range p.in {
+				snap := p.snapshotLocked()
+				decoded <- p.scope.decodeSlot(snap, cap)
+			}
+		}()
+	}
+	go func() {
+		workerWG.Wait()
+		close(decoded)
+	}()
+
+	// Scheduler: merge in slot order using a reordering buffer.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer close(p.results)
+		pending := make(map[int]*decodeResult)
+		next := -1
+		flushReady := func() {
+			if next == -1 {
+				// Submissions are in slot order, and a Submit always
+				// precedes its decode result, so the first submitted
+				// index is available by the time any result lands.
+				select {
+				case f := <-p.first:
+					next = f
+				default:
+					return
+				}
+			}
+			for {
+				res, ok := pending[next]
+				if !ok {
+					return
+				}
+				delete(pending, next)
+				p.results <- p.mergeLocked(res)
+				next++
+			}
+		}
+		for res := range decoded {
+			pending[res.slotIdx] = res
+			flushReady()
+		}
+		// Input closed: drain stragglers in order (gaps allowed).
+		var idxs []int
+		for idx := range pending {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			p.results <- p.mergeLocked(pending[idx])
+		}
+	}()
+}
+
+// snapshotLocked takes a state snapshot under the pipeline lock.
+func (p *Pipeline) snapshotLocked() *snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.scope.snapshot()
+}
+
+// mergeLocked merges a decode result under the pipeline lock.
+func (p *Pipeline) mergeLocked(res *decodeResult) *SlotResult {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.scope.merge(res)
+}
+
+// Submit enqueues a capture. It blocks when the queue is full (radio
+// back-pressure). Submissions must be in slot order and come from a
+// single goroutine.
+func (p *Pipeline) Submit(cap *radio.Capture) {
+	if !p.async {
+		p.mu.Lock()
+		acquired := p.scope.CellAcquired()
+		p.mu.Unlock()
+		if !acquired {
+			res := p.scope.decodeSlot(p.snapshotLocked(), cap)
+			p.results <- p.mergeLocked(res)
+			return
+		}
+		p.async = true
+	}
+	p.firstOnce.Do(func() { p.first <- cap.SlotIdx })
+	p.in <- cap
+}
+
+// Results returns the ordered result stream. It is closed after Close
+// once all submitted slots have drained.
+func (p *Pipeline) Results() <-chan *SlotResult { return p.results }
+
+// Close stops accepting captures and waits for in-flight slots.
+func (p *Pipeline) Close() {
+	close(p.in)
+	p.wg.Wait()
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"nrscope/internal/channel"
+	"nrscope/internal/radio"
+	"nrscope/internal/ran"
+)
+
+func TestPipelineCloseWithoutSubmissions(t *testing.T) {
+	p := NewPipeline(New(1), 2, 8)
+	p.Close()
+	if _, open := <-p.Results(); open {
+		t.Error("results channel not closed after Close")
+	}
+}
+
+func TestPipelineOrderedResults(t *testing.T) {
+	cfg := ran.AmarisoftCell()
+	cfg.Seed = 31
+	gnb, err := ran.NewGNB(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnb.AddUE(nil, -1)
+	rx := radio.NewReceiver(channel.Normal, 25, 1)
+	p := NewPipeline(New(cfg.CellID), 4, 32)
+	const slots = 400
+	done := make(chan []int)
+	go func() {
+		var order []int
+		for res := range p.Results() {
+			order = append(order, res.SlotIdx)
+		}
+		done <- order
+	}()
+	for i := 0; i < slots; i++ {
+		out := gnb.Step()
+		p.Submit(rx.Capture(out.SlotIdx, out.Ref, out.Grid))
+	}
+	p.Close()
+	order := <-done
+	if len(order) != slots {
+		t.Fatalf("got %d results, want %d", len(order), slots)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] != order[i-1]+1 {
+			t.Fatalf("results out of order at %d: %d after %d", i, order[i], order[i-1])
+		}
+	}
+}
+
+func TestPipelineAcquiresCellAndUEs(t *testing.T) {
+	cfg := ran.AmarisoftCell()
+	cfg.Seed = 33
+	gnb, err := ran.NewGNB(cfg, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnb.AddUE(nil, -1)
+	rx := radio.NewReceiver(channel.Normal, 25, 2)
+	scope := New(cfg.CellID)
+	p := NewPipeline(scope, 3, 16)
+	done := make(chan int)
+	go func() {
+		newUEs := 0
+		for res := range p.Results() {
+			newUEs += len(res.NewUEs)
+		}
+		done <- newUEs
+	}()
+	for i := 0; i < 800; i++ {
+		out := gnb.Step()
+		p.Submit(rx.Capture(out.SlotIdx, out.Ref, out.Grid))
+	}
+	p.Close()
+	if newUEs := <-done; newUEs != 1 {
+		t.Errorf("pipeline discovered %d UEs, want 1", newUEs)
+	}
+	if !scope.CellAcquired() {
+		t.Error("pipeline never acquired the cell")
+	}
+}

@@ -1,0 +1,254 @@
+package dci
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nrscope/internal/mcs"
+	"nrscope/internal/phy"
+)
+
+func cfg51() Config { return DefaultConfig(51) }
+
+func TestSizeWithinPaperRange(t *testing.T) {
+	// Paper §3.2.1: DCI payloads are 30-80 bits.
+	for _, prbs := range []int{24, 51, 52, 79, 106} {
+		c := DefaultConfig(prbs)
+		for _, f := range []Format{Format00, Format01, Format10, Format11} {
+			s := Size(f, c)
+			if s < 30 || s > 80 {
+				t.Errorf("%d PRBs, format %v: size %d outside [30,80]", prbs, f, s)
+			}
+		}
+	}
+}
+
+func TestFallbackPairShareSize(t *testing.T) {
+	c := cfg51()
+	if Size(Format00, c) != Size(Format10, c) {
+		t.Error("0_0 and 1_0 sizes differ")
+	}
+	if Size(Format01, c) != Size(Format11, c) {
+		t.Error("0_1 and 1_1 sizes differ")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	c := cfg51()
+	cases := []DCI{
+		{Format: Format10, FreqAlloc: 100, TimeAlloc: 2, VRBToPRB: 1, MCS: 9, NDI: 1, RV: 3, HARQID: 7, DAI: 2, TPC: 1, PUCCHRes: 5, HARQTiming: 2},
+		{Format: Format00, FreqAlloc: 55, TimeAlloc: 0, FreqHopping: 1, MCS: 17, NDI: 0, RV: 0, HARQID: 15, TPC: 3},
+		{Format: Format11, FreqAlloc: 0x33, TimeAlloc: 0, MCS: 27, NDI: 0, RV: 0, HARQID: 11, DAI: 2, TPC: 1, HARQTiming: 2, Ports: 7, SRSRequest: 0, DMRSSeqInit: 0},
+		{Format: Format01, FreqAlloc: 200, TimeAlloc: 5, FreqHopping: 0, MCS: 3, NDI: 1, RV: 1, HARQID: 0, DAI: 1, TPC: 2, Ports: 2, SRSRequest: 1, DMRSSeqInit: 1},
+	}
+	for _, d := range cases {
+		payload, err := Pack(d, c)
+		if err != nil {
+			t.Fatalf("%v: %v", d.Format, err)
+		}
+		sc := NonFallback
+		if d.Format == Format00 || d.Format == Format10 {
+			sc = Fallback
+		}
+		if len(payload) != ClassSize(sc, c) {
+			t.Fatalf("%v: payload %d bits, want %d", d.Format, len(payload), ClassSize(sc, c))
+		}
+		got, err := Unpack(payload, sc, c)
+		if err != nil {
+			t.Fatalf("%v: unpack: %v", d.Format, err)
+		}
+		if got != d {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", d.Format, got, d)
+		}
+	}
+}
+
+func TestPackUnpackProperty(t *testing.T) {
+	c := cfg51()
+	maxRIV := uint32(51 * 52 / 2)
+	f := func(riv uint32, ta, m, h, rv, dai, tpc, pr, ht, ports, srs uint8, ndi bool) bool {
+		d := DCI{
+			Format:      Format11,
+			FreqAlloc:   riv % maxRIV,
+			TimeAlloc:   int(ta) % c.TimeAllocRows,
+			MCS:         int(m) % 32,
+			RV:          int(rv) % 4,
+			HARQID:      int(h) % 16,
+			DAI:         int(dai) % 4,
+			TPC:         int(tpc) % 4,
+			PUCCHRes:    int(pr) % 8,
+			HARQTiming:  int(ht) % 8,
+			Ports:       int(ports) % 16,
+			SRSRequest:  int(srs) % 4,
+			DMRSSeqInit: int(srs) % 2,
+		}
+		if ndi {
+			d.NDI = 1
+		}
+		payload, err := Pack(d, c)
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(payload, NonFallback, c)
+		return err == nil && got == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnpackRejectsWrongLength(t *testing.T) {
+	c := cfg51()
+	if _, err := Unpack(make([]uint8, 10), Fallback, c); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestValidateRejectsBadFields(t *testing.T) {
+	c := cfg51()
+	bad := []DCI{
+		{Format: Format11, TimeAlloc: 99},
+		{Format: Format11, MCS: 40},
+		{Format: Format11, HARQID: 20},
+		{Format: Format11, RV: 7},
+	}
+	for i, d := range bad {
+		if _, err := Pack(d, c); err == nil {
+			t.Errorf("case %d: bad DCI packed fine: %+v", i, d)
+		}
+	}
+}
+
+func TestToGrantPaperExample(t *testing.T) {
+	// Reconstructs the Appendix B sample as closely as the simplified
+	// codec permits: f_alloc spanning 3 PRBs, full 12-symbol allocation,
+	// MCS 27 on the 256QAM table.
+	c := cfg51()
+	riv, err := phy.EncodeRIV(51, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DCI{Format: Format11, FreqAlloc: riv, TimeAlloc: 0, MCS: 27, HARQID: 11, DAI: 2, TPC: 1}
+	link := LinkConfig{DMRSPerPRB: 0, Overhead: 0, Layers: 1, Table: mcs.TableQAM256}
+	g, err := ToGrant(d, 0x4296, c, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TBS != 3240 {
+		t.Errorf("TBS = %d, want 3240 (paper Appendix B)", g.TBS)
+	}
+	if g.Qm != 8 || g.NBits != 3456 {
+		t.Errorf("Qm=%d NBits=%d, want 8/3456", g.Qm, g.NBits)
+	}
+	if !g.Downlink || g.RNTI != 0x4296 {
+		t.Error("grant direction/RNTI wrong")
+	}
+	if g.REGCount() != 3*12 {
+		t.Errorf("REGCount = %d, want 36", g.REGCount())
+	}
+}
+
+func TestToGrantFallbackForcesQAM64SingleLayer(t *testing.T) {
+	c := cfg51()
+	riv, _ := phy.EncodeRIV(51, 10, 20)
+	d := DCI{Format: Format10, FreqAlloc: riv, TimeAlloc: 1, MCS: 20}
+	link := LinkConfig{DMRSPerPRB: 12, Overhead: 6, Layers: 2, Table: mcs.TableQAM256}
+	g, err := ToGrant(d, 0xFFFF, c, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Table != mcs.TableQAM64 || g.Layers != 1 {
+		t.Errorf("fallback grant table=%v layers=%d, want 64qam/1", g.Table, g.Layers)
+	}
+}
+
+func TestToGrantRejectsBadRIV(t *testing.T) {
+	c := cfg51()
+	d := DCI{Format: Format11, FreqAlloc: 1<<31 - 1}
+	if _, err := ToGrant(d, 1, c, DefaultLinkConfig()); err == nil {
+		t.Error("absurd RIV accepted")
+	}
+}
+
+func TestGrantStringIncludesKeyFields(t *testing.T) {
+	c := cfg51()
+	riv, _ := phy.EncodeRIV(51, 0, 5)
+	d := DCI{Format: Format11, FreqAlloc: riv, MCS: 10, HARQID: 3}
+	g, err := ToGrant(d, 0x4601, c, DefaultLinkConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.String()
+	for _, want := range []string{"rnti=0x4601", "dci=1_1", "DL", "mcs=10", "harq_id=3"} {
+		if !contains(s, want) {
+			t.Errorf("grant string %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRARNTIInRange(t *testing.T) {
+	f := func(slot uint16) bool {
+		r := RARNTI(int(slot))
+		return r >= MinCRNTI && r <= MaxCRNTI
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatProperties(t *testing.T) {
+	if !Format10.Downlink() || !Format11.Downlink() {
+		t.Error("DL formats misclassified")
+	}
+	if Format00.Downlink() || Format01.Downlink() {
+		t.Error("UL formats misclassified")
+	}
+	if Format11.String() != "1_1" || Format00.String() != "0_0" {
+		t.Error("format String() wrong")
+	}
+}
+
+func BenchmarkPackUnpack11(b *testing.B) {
+	c := cfg51()
+	riv, _ := phy.EncodeRIV(51, 0, 51)
+	d := DCI{Format: Format11, FreqAlloc: riv, MCS: 27, HARQID: 11}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		payload, err := Pack(d, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unpack(payload, NonFallback, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchSink Grant
+
+func BenchmarkToGrant(b *testing.B) {
+	c := cfg51()
+	riv, _ := phy.EncodeRIV(51, 0, 51)
+	d := DCI{Format: Format11, FreqAlloc: riv, MCS: 27, HARQID: 11}
+	link := DefaultLinkConfig()
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := ToGrant(d, 0x4601, c, link)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = g
+	}
+}

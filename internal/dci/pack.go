@@ -1,0 +1,236 @@
+package dci
+
+import (
+	"fmt"
+
+	"nrscope/internal/bits"
+	"nrscope/internal/phy"
+)
+
+// Field layouts. Every format starts with the 1-bit format identifier
+// (0 = uplink, 1 = downlink, TS 38.212 §7.3.1.1.1). The fallback pair
+// (0_0, 1_0) is padded to a common size so a blind decoder can try both
+// interpretations of the same candidate, as a real UE does; the
+// non-fallback pair (0_1, 1_1) is likewise aligned.
+
+// Size returns the payload size in bits of the format under the
+// configuration (before the 24-bit CRC).
+func Size(f Format, c Config) int {
+	switch f {
+	case Format10, Format00:
+		return fallbackSize(c)
+	case Format11:
+		return rawSize11(c)
+	case Format01:
+		// Aligned up to 1_1 so both share one blind decode.
+		return rawSize11(c)
+	default:
+		panic(fmt.Sprintf("dci: unknown format %d", int(f)))
+	}
+}
+
+// rawSize10 is the natural (unpadded) 1_0 size.
+func rawSize10(c Config) int {
+	return 1 + // format id
+		phy.RIVBits(c.BWPPRBs) +
+		c.timeAllocBits() +
+		1 + // VRB-to-PRB
+		5 + // MCS
+		1 + // NDI
+		2 + // RV
+		c.harqBits() +
+		2 + // DAI
+		2 + // TPC
+		3 + // PUCCH resource
+		3 // HARQ feedback timing
+}
+
+// rawSize00 is the natural (unpadded) 0_0 size.
+func rawSize00(c Config) int {
+	return 1 + // format id
+		phy.RIVBits(c.BWPPRBs) +
+		c.timeAllocBits() +
+		1 + // frequency hopping
+		5 + // MCS
+		1 + // NDI
+		2 + // RV
+		c.harqBits() +
+		2 // TPC
+}
+
+func fallbackSize(c Config) int {
+	a, b := rawSize10(c), rawSize00(c)
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// rawSize11 is the 1_1 size; 0_1 is padded up to it.
+func rawSize11(c Config) int {
+	return 1 + // format id
+		phy.RIVBits(c.BWPPRBs) +
+		c.timeAllocBits() +
+		1 + // VRB-to-PRB / frequency hopping
+		5 + 1 + 2 + // MCS, NDI, RV
+		c.harqBits() +
+		2 + 2 + // DAI, TPC
+		3 + 3 + // PUCCH resource, HARQ timing
+		4 + // antenna ports
+		2 + // SRS request
+		1 // DMRS sequence initialisation
+}
+
+// Pack serialises the DCI into its payload bits (without CRC).
+func Pack(d DCI, c Config) ([]uint8, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(c); err != nil {
+		return nil, err
+	}
+	size := Size(d.Format, c)
+	w := bits.NewWriter(size)
+	rivBits := phy.RIVBits(c.BWPPRBs)
+	switch d.Format {
+	case Format10:
+		w.WriteBool(true)
+		w.WriteUint(uint64(d.FreqAlloc), rivBits)
+		w.WriteUint(uint64(d.TimeAlloc), c.timeAllocBits())
+		w.WriteUint(uint64(d.VRBToPRB), 1)
+		w.WriteUint(uint64(d.MCS), 5)
+		w.WriteUint(uint64(d.NDI), 1)
+		w.WriteUint(uint64(d.RV), 2)
+		w.WriteUint(uint64(d.HARQID), c.harqBits())
+		w.WriteUint(uint64(d.DAI), 2)
+		w.WriteUint(uint64(d.TPC), 2)
+		w.WriteUint(uint64(d.PUCCHRes), 3)
+		w.WriteUint(uint64(d.HARQTiming), 3)
+	case Format00:
+		w.WriteBool(false)
+		w.WriteUint(uint64(d.FreqAlloc), rivBits)
+		w.WriteUint(uint64(d.TimeAlloc), c.timeAllocBits())
+		w.WriteUint(uint64(d.FreqHopping), 1)
+		w.WriteUint(uint64(d.MCS), 5)
+		w.WriteUint(uint64(d.NDI), 1)
+		w.WriteUint(uint64(d.RV), 2)
+		w.WriteUint(uint64(d.HARQID), c.harqBits())
+		w.WriteUint(uint64(d.TPC), 2)
+	case Format11, Format01:
+		w.WriteBool(d.Format == Format11)
+		w.WriteUint(uint64(d.FreqAlloc), rivBits)
+		w.WriteUint(uint64(d.TimeAlloc), c.timeAllocBits())
+		if d.Format == Format11 {
+			w.WriteUint(uint64(d.VRBToPRB), 1)
+		} else {
+			w.WriteUint(uint64(d.FreqHopping), 1)
+		}
+		w.WriteUint(uint64(d.MCS), 5)
+		w.WriteUint(uint64(d.NDI), 1)
+		w.WriteUint(uint64(d.RV), 2)
+		w.WriteUint(uint64(d.HARQID), c.harqBits())
+		w.WriteUint(uint64(d.DAI), 2)
+		w.WriteUint(uint64(d.TPC), 2)
+		w.WriteUint(uint64(d.PUCCHRes), 3)
+		w.WriteUint(uint64(d.HARQTiming), 3)
+		w.WriteUint(uint64(d.Ports), 4)
+		w.WriteUint(uint64(d.SRSRequest), 2)
+		w.WriteUint(uint64(d.DMRSSeqInit), 1)
+	}
+	for w.Len() < size {
+		w.WriteBit(0) // zero padding up to the aligned size
+	}
+	return w.Bits(), nil
+}
+
+// SizeClass distinguishes the two payload sizes a blind decoder must try:
+// fallback (0_0/1_0) and non-fallback (0_1/1_1).
+type SizeClass int
+
+// Size classes.
+const (
+	Fallback SizeClass = iota
+	NonFallback
+)
+
+// ClassSize returns the payload size of a class.
+func ClassSize(sc SizeClass, c Config) int {
+	if sc == Fallback {
+		return fallbackSize(c)
+	}
+	return rawSize11(c)
+}
+
+// Unpack parses a DCI payload of the given size class. The format
+// identifier bit selects uplink vs downlink layout. The payload length
+// must equal ClassSize(sc, c).
+func Unpack(payload []uint8, sc SizeClass, c Config) (DCI, error) {
+	if err := c.Validate(); err != nil {
+		return DCI{}, err
+	}
+	want := ClassSize(sc, c)
+	if len(payload) != want {
+		return DCI{}, fmt.Errorf("dci: payload %d bits, class needs %d", len(payload), want)
+	}
+	r := bits.NewReader(payload)
+	dl := r.ReadBool()
+	rivBits := phy.RIVBits(c.BWPPRBs)
+	var d DCI
+	switch {
+	case sc == Fallback && dl:
+		d.Format = Format10
+		d.FreqAlloc = uint32(r.ReadUint(rivBits))
+		d.TimeAlloc = int(r.ReadUint(c.timeAllocBits()))
+		d.VRBToPRB = int(r.ReadUint(1))
+		d.MCS = int(r.ReadUint(5))
+		d.NDI = uint8(r.ReadUint(1))
+		d.RV = int(r.ReadUint(2))
+		d.HARQID = int(r.ReadUint(c.harqBits()))
+		d.DAI = int(r.ReadUint(2))
+		d.TPC = int(r.ReadUint(2))
+		d.PUCCHRes = int(r.ReadUint(3))
+		d.HARQTiming = int(r.ReadUint(3))
+	case sc == Fallback:
+		d.Format = Format00
+		d.FreqAlloc = uint32(r.ReadUint(rivBits))
+		d.TimeAlloc = int(r.ReadUint(c.timeAllocBits()))
+		d.FreqHopping = int(r.ReadUint(1))
+		d.MCS = int(r.ReadUint(5))
+		d.NDI = uint8(r.ReadUint(1))
+		d.RV = int(r.ReadUint(2))
+		d.HARQID = int(r.ReadUint(c.harqBits()))
+		d.TPC = int(r.ReadUint(2))
+	default:
+		if dl {
+			d.Format = Format11
+		} else {
+			d.Format = Format01
+		}
+		d.FreqAlloc = uint32(r.ReadUint(rivBits))
+		d.TimeAlloc = int(r.ReadUint(c.timeAllocBits()))
+		hop := int(r.ReadUint(1))
+		if dl {
+			d.VRBToPRB = hop
+		} else {
+			d.FreqHopping = hop
+		}
+		d.MCS = int(r.ReadUint(5))
+		d.NDI = uint8(r.ReadUint(1))
+		d.RV = int(r.ReadUint(2))
+		d.HARQID = int(r.ReadUint(c.harqBits()))
+		d.DAI = int(r.ReadUint(2))
+		d.TPC = int(r.ReadUint(2))
+		d.PUCCHRes = int(r.ReadUint(3))
+		d.HARQTiming = int(r.ReadUint(3))
+		d.Ports = int(r.ReadUint(4))
+		d.SRSRequest = int(r.ReadUint(2))
+		d.DMRSSeqInit = int(r.ReadUint(1))
+	}
+	if err := r.Err(); err != nil {
+		return DCI{}, err
+	}
+	if err := d.Validate(c); err != nil {
+		return DCI{}, fmt.Errorf("dci: unpacked invalid DCI: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,231 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"nrscope/internal/channel"
+	"nrscope/internal/ran"
+)
+
+func TestPercentileAndMedian(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Median(xs); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile not NaN")
+	}
+}
+
+func TestCDFCCDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cdf := CDF(xs, 0)
+	if len(cdf) != 4 || cdf[3].P != 1 || cdf[0].X != 1 {
+		t.Errorf("CDF = %+v", cdf)
+	}
+	ccdf := CCDF(xs, 0)
+	if ccdf[3].P != 0 {
+		t.Errorf("CCDF tail = %v", ccdf[3].P)
+	}
+	// Downsampling keeps the final point.
+	big := make([]float64, 1000)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	ds := CDF(big, 10)
+	if ds[len(ds)-1].P != 1 {
+		t.Error("downsampled CDF misses P=1")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	if got := RSquared(obs, obs); got != 1 {
+		t.Errorf("perfect R² = %v", got)
+	}
+	noisy := []float64{1.1, 1.9, 3.2, 3.9}
+	r := RSquared(obs, noisy)
+	if r < 0.9 || r >= 1 {
+		t.Errorf("noisy R² = %v", r)
+	}
+	if !math.IsNaN(RSquared(obs, obs[:2])) {
+		t.Error("length mismatch not NaN")
+	}
+}
+
+func quickSession(t *testing.T, ues int) *SessionResult {
+	t.Helper()
+	res, err := Run(SessionConfig{
+		Cell:       ran.AmarisoftCell(),
+		ScopeSNRdB: 25,
+		UEs:        ueMix(ues, UESpec{Model: channel.Normal, DL: WorkloadVideo, ULbps: 200e3, SessionSlots: -1}),
+		Slots:      3000,
+		Seed:       4242,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSessionProducesData(t *testing.T) {
+	res := quickSession(t, 2)
+	if res.AcquiredSlot < 0 {
+		t.Fatal("cell never acquired")
+	}
+	if len(res.Discovered) != 2 {
+		t.Fatalf("discovered %d UEs, want 2", len(res.Discovered))
+	}
+	if len(res.GT) == 0 || len(res.Records) == 0 {
+		t.Fatal("no records collected")
+	}
+	if len(res.Bitrates) == 0 {
+		t.Fatal("no bitrate samples")
+	}
+	if len(res.Elapsed) == 0 {
+		t.Fatal("no timing samples")
+	}
+}
+
+func TestMissRatesNearZeroAtHighSNR(t *testing.T) {
+	res := quickSession(t, 2)
+	dl, ul, dlTot, ulTot := res.MissRates()
+	if dlTot < 50 || ulTot < 50 {
+		t.Fatalf("too few DCIs: dl=%d ul=%d", dlTot, ulTot)
+	}
+	if dl > 0.01 {
+		t.Errorf("DL miss rate %.4f at 25 dB", dl)
+	}
+	if ul > 0.01 {
+		t.Errorf("UL miss rate %.4f at 25 dB", ul)
+	}
+}
+
+func TestREGErrorsMostlyZero(t *testing.T) {
+	res := quickSession(t, 2)
+	errs := res.REGErrors()
+	if len(errs) == 0 {
+		t.Fatal("no REG samples")
+	}
+	zero := 0
+	for _, e := range errs {
+		if e == 0 {
+			zero++
+		}
+	}
+	if frac := float64(zero) / float64(len(errs)); frac < 0.99 {
+		t.Errorf("zero-REG-error fraction %.4f at 25 dB, want > 0.99", frac)
+	}
+}
+
+func TestThroughputErrorsSmall(t *testing.T) {
+	res := quickSession(t, 1)
+	errs, meanGT := res.ThroughputErrors()
+	if len(errs) == 0 || meanGT == 0 {
+		t.Fatal("no throughput samples")
+	}
+	rel := Mean(errs) * 1e3 / meanGT
+	if rel > 0.05 {
+		t.Errorf("mean relative throughput error %.3f, want < 5%% (paper: 0.9%%)", rel)
+	}
+}
+
+func TestFig7aQuickShape(t *testing.T) {
+	fig := Fig7a(Options{Quick: true, Slots: 3000})
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want DL+UL", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if math.IsNaN(y) {
+				t.Errorf("%s[%d] is NaN", s.Name, i)
+			}
+			if y > 0.10 {
+				t.Errorf("%s[%d] miss rate %.3f implausibly high", s.Name, i, y)
+			}
+		}
+	}
+}
+
+func TestFig13MonotoneWithDistance(t *testing.T) {
+	fig := Fig13(Options{Quick: true, Slots: 3000})
+	dl := fig.Series[0]
+	if len(dl.Y) < 2 {
+		t.Fatal("too few points")
+	}
+	near, far := dl.Y[0], dl.Y[len(dl.Y)-1]
+	if far < near {
+		t.Errorf("miss rate at far position (%.4f) below near (%.4f)", far, near)
+	}
+}
+
+func TestFig15ChannelOrdering(t *testing.T) {
+	fig := Fig15(Options{Quick: true, Slots: 4000})
+	// Extract mean MCS per model from the notes via series means instead.
+	means := map[string]float64{}
+	for _, s := range fig.Series {
+		if len(s.X) == 0 {
+			continue
+		}
+		if len(s.Name) > 4 && s.Name[:4] == "MCS " {
+			means[s.Name[4:]] = Mean(s.X)
+		}
+	}
+	if means["Normal"] <= means["Urban"] {
+		t.Errorf("Normal mean MCS %.1f not above Urban %.1f", means["Normal"], means["Urban"])
+	}
+	retx := map[string]float64{}
+	for _, s := range fig.Series {
+		if len(s.Name) > 5 && s.Name[:5] == "Retx " {
+			retx[s.Name[5:]] = Mean(s.X)
+		}
+	}
+	if retx["Urban"] <= retx["Normal"] {
+		t.Errorf("Urban retx %.3f not above Normal %.3f", retx["Urban"], retx["Normal"])
+	}
+}
+
+func TestFig16dAggregation(t *testing.T) {
+	fig := Fig16d(Options{Quick: true, Slots: 4000})
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// With competition the UE is served less often, so more packets pile
+	// into each serving TTI: the mean packets/TTI should not shrink.
+	spare := Mean(fig.Series[0].X)
+	comp := Mean(fig.Series[1].X)
+	if comp+0.5 < spare {
+		t.Errorf("competition packets/TTI %.2f far below spare %.2f", comp, spare)
+	}
+}
+
+func TestFigureString(t *testing.T) {
+	fig := Figure{ID: "x", Title: "t"}
+	fig.AddCDF("s", []CDFPoint{{X: 1, P: 0.5}, {X: 2, P: 1}})
+	fig.Note("hello %d", 7)
+	out := fig.String()
+	for _, want := range []string{"== x: t ==", "series \"s\"", "hello 7"} {
+		if !contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	if sum := fig.Summary(); !contains(sum, "hello 7") {
+		t.Error("summary missing note")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJain(t *testing.T) {
+	if got := jain([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal rates Jain = %v, want 1", got)
+	}
+	if got := jain([]float64{10, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("one-flow Jain = %v, want 0.25", got)
+	}
+	if jain(nil) != 0 || jain([]float64{0, 0}) != 0 {
+		t.Error("degenerate Jain not 0")
+	}
+}
+
+func TestExtSchedulersQuick(t *testing.T) {
+	fig := ExtSchedulers(Options{Quick: true, Slots: 4000})
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y <= 0 || math.IsNaN(y) {
+				t.Errorf("%s[%d] = %v", s.Name, i, y)
+			}
+		}
+		// Higher-SNR UE must observe a higher rate under both policies.
+		if s.Y[len(s.Y)-1] <= s.Y[0] {
+			t.Errorf("%s: rate not increasing with SNR: %v", s.Name, s.Y)
+		}
+	}
+}
+
+func TestExtCongestionQuick(t *testing.T) {
+	fig := ExtCongestion(Options{Slots: 6000, Seed: 4321})
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	rates := map[string]float64{}
+	for _, s := range fig.Series {
+		if len(s.Y) == 0 {
+			t.Fatalf("%s: empty series", s.Name)
+		}
+		rates[s.Name] = Mean(s.Y)
+	}
+	// The telemetry controller must clearly out-utilise the end-to-end
+	// baseline (the §6 claim).
+	if rates["nr-scope-telemetry"] <= rates["aimd-delay"] {
+		t.Errorf("telemetry rate %.2f not above AIMD %.2f Mbps",
+			rates["nr-scope-telemetry"], rates["aimd-delay"])
+	}
+}

@@ -1,0 +1,233 @@
+package eval
+
+import (
+	"math"
+)
+
+// dciKey identifies one transmission for GT <-> scope matching, the way
+// the paper matches srsRAN log lines to NR-Scope output "using the
+// timestamp and the TTI index" (§5.2.1).
+type dciKey struct {
+	slot int
+	rnti uint16
+	dl   bool
+	tbs  int
+}
+
+// countable reports whether a GT record should count towards miss-rate
+// style metrics: data DCIs sent after the scope had acquired the cell
+// and discovered the UE (a UE whose RACH predates the telemetry session
+// is invisible by design, §3.1.2).
+func (r *SessionResult) countable(slotIdx int, rnti uint16) bool {
+	if r.AcquiredSlot < 0 || slotIdx <= r.AcquiredSlot {
+		return false
+	}
+	d, ok := r.Discovered[rnti]
+	return ok && slotIdx > d
+}
+
+// MissRates computes the per-direction DCI miss rate (Fig. 7): the
+// fraction of ground-truth data DCIs the scope failed to decode.
+func (r *SessionResult) MissRates() (dl, ul float64, dlTotal, ulTotal int) {
+	gtCount := make(map[dciKey]int)
+	for _, g := range r.GT {
+		if g.Common || !r.countable(g.SlotIdx, g.RNTI) {
+			continue
+		}
+		k := dciKey{g.SlotIdx, g.RNTI, g.Grant.Downlink, g.Grant.TBS}
+		gtCount[k]++
+		if g.Grant.Downlink {
+			dlTotal++
+		} else {
+			ulTotal++
+		}
+	}
+	seen := make(map[dciKey]int)
+	for _, rec := range r.Records {
+		if rec.Common {
+			continue
+		}
+		seen[dciKey{rec.SlotIdx, rec.RNTI, rec.Downlink, rec.TBS}]++
+	}
+	var dlMiss, ulMiss int
+	for k, n := range gtCount {
+		missing := n - seen[k]
+		if missing < 0 {
+			missing = 0
+		}
+		if k.dl {
+			dlMiss += missing
+		} else {
+			ulMiss += missing
+		}
+	}
+	dl, ul = math.NaN(), math.NaN()
+	if dlTotal > 0 {
+		dl = float64(dlMiss) / float64(dlTotal)
+	}
+	if ulTotal > 0 {
+		ul = float64(ulMiss) / float64(ulTotal)
+	}
+	return dl, ul, dlTotal, ulTotal
+}
+
+// REGErrors computes, per TTI, the absolute error in the decoded
+// REG count against ground truth (Fig. 8): |sum of scope REGs - sum of
+// GT REGs| over the countable DCIs of the TTI.
+func (r *SessionResult) REGErrors() []float64 {
+	gtPerTTI := make(map[int]int)
+	countableTTI := make(map[int]bool)
+	for _, g := range r.GT {
+		if g.Common {
+			continue
+		}
+		if !r.countable(g.SlotIdx, g.RNTI) {
+			continue
+		}
+		gtPerTTI[g.SlotIdx] += g.Grant.REGCount()
+		countableTTI[g.SlotIdx] = true
+	}
+	scopePerTTI := make(map[int]int)
+	for _, rec := range r.Records {
+		if rec.Common || !countableTTI[rec.SlotIdx] {
+			continue
+		}
+		scopePerTTI[rec.SlotIdx] += rec.REGs
+	}
+	out := make([]float64, 0, len(gtPerTTI))
+	for slot, gt := range gtPerTTI {
+		out = append(out, math.Abs(float64(gt-scopePerTTI[slot])))
+	}
+	return out
+}
+
+// ThroughputErrors returns |estimate - ground truth| in kbit/s across
+// all bitrate samples (Figs. 9 and 16), plus the mean GT rate for the
+// relative-error headline.
+func (r *SessionResult) ThroughputErrors() (errsKbps []float64, meanGTbps float64) {
+	var gtSum float64
+	n := 0
+	for _, s := range r.Bitrates {
+		if s.GTBps == 0 && s.EstBps == 0 {
+			continue // silent UE; nothing to estimate
+		}
+		errsKbps = append(errsKbps, math.Abs(s.EstBps-s.GTBps)/1e3)
+		gtSum += s.GTBps
+		n++
+	}
+	if n > 0 {
+		meanGTbps = gtSum / float64(n)
+	}
+	return errsKbps, meanGTbps
+}
+
+// RetxRatios returns, per UE, the ground-truth and scope-observed
+// retransmission ratios (Fig. 15 right), over countable DCIs.
+func (r *SessionResult) RetxRatios() (gt, scope map[uint16]float64) {
+	type cnt struct{ total, retx int }
+	g := make(map[uint16]*cnt)
+	s := make(map[uint16]*cnt)
+	for _, rec := range r.GT {
+		if rec.Common || !rec.Grant.Downlink || !r.countable(rec.SlotIdx, rec.RNTI) {
+			continue
+		}
+		c := g[rec.RNTI]
+		if c == nil {
+			c = &cnt{}
+			g[rec.RNTI] = c
+		}
+		c.total++
+		if rec.IsRetx {
+			c.retx++
+		}
+	}
+	for _, rec := range r.Records {
+		if rec.Common || !rec.Downlink {
+			continue
+		}
+		c := s[rec.RNTI]
+		if c == nil {
+			c = &cnt{}
+			s[rec.RNTI] = c
+		}
+		c.total++
+		if rec.IsRetx {
+			c.retx++
+		}
+	}
+	gt = make(map[uint16]float64)
+	scope = make(map[uint16]float64)
+	for rnti, c := range g {
+		if c.total > 0 {
+			gt[rnti] = float64(c.retx) / float64(c.total)
+		}
+	}
+	for rnti, c := range s {
+		if c.total > 0 {
+			scope[rnti] = float64(c.retx) / float64(c.total)
+		}
+	}
+	return gt, scope
+}
+
+// MCSSamples returns the ground-truth and scope-observed downlink MCS
+// indices (Fig. 15 left) over countable DCIs.
+func (r *SessionResult) MCSSamples() (gt, scope []float64) {
+	for _, rec := range r.GT {
+		if rec.Common || !rec.Grant.Downlink || !r.countable(rec.SlotIdx, rec.RNTI) {
+			continue
+		}
+		gt = append(gt, float64(rec.Grant.MCSIndex))
+	}
+	for _, rec := range r.Records {
+		if rec.Common || !rec.Downlink {
+			continue
+		}
+		scope = append(scope, float64(rec.MCS))
+	}
+	return gt, scope
+}
+
+// MeanMCSPerUE returns per-UE mean downlink MCS from both views,
+// aligned by RNTI, for the Fig. 15 R² comparison.
+func (r *SessionResult) MeanMCSPerUE() (gt, scope []float64) {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	g := make(map[uint16]*acc)
+	s := make(map[uint16]*acc)
+	for _, rec := range r.GT {
+		if rec.Common || !rec.Grant.Downlink || !r.countable(rec.SlotIdx, rec.RNTI) {
+			continue
+		}
+		a := g[rec.RNTI]
+		if a == nil {
+			a = &acc{}
+			g[rec.RNTI] = a
+		}
+		a.sum += float64(rec.Grant.MCSIndex)
+		a.n++
+	}
+	for _, rec := range r.Records {
+		if rec.Common || !rec.Downlink {
+			continue
+		}
+		a := s[rec.RNTI]
+		if a == nil {
+			a = &acc{}
+			s[rec.RNTI] = a
+		}
+		a.sum += float64(rec.MCS)
+		a.n++
+	}
+	for rnti, ga := range g {
+		sa := s[rnti]
+		if sa == nil || ga.n == 0 || sa.n == 0 {
+			continue
+		}
+		gt = append(gt, ga.sum/float64(ga.n))
+		scope = append(scope, sa.sum/float64(sa.n))
+	}
+	return gt, scope
+}

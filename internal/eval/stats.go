@@ -1,0 +1,182 @@
+// Package eval reproduces the paper's evaluation: it wires the simulated
+// gNB, the radio front end and the NR-Scope engine into measurement
+// sessions, computes the paper's metrics (DCI miss rate, REG decoding
+// error, throughput estimation error, UE activity, processing time,
+// MCS/retransmission distributions), and packages each table/figure of
+// §5 as a reproducible experiment (see DESIGN.md §4 for the index).
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0..100) of xs (nearest-rank on
+// a sorted copy). It returns NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median is the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// CDFPoint is one (x, P[X <= x]) pair.
+type CDFPoint struct {
+	X float64
+	P float64
+}
+
+// CDF returns the empirical distribution of xs at up to maxPoints
+// evenly spaced quantiles (all points when maxPoints <= 0).
+func CDF(xs []float64, maxPoints int) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	step := 1
+	if maxPoints > 0 && n > maxPoints {
+		step = n / maxPoints
+	}
+	var out []CDFPoint
+	for i := 0; i < n; i += step {
+		out = append(out, CDFPoint{X: s[i], P: float64(i+1) / float64(n)})
+	}
+	if out[len(out)-1].P != 1 {
+		out = append(out, CDFPoint{X: s[n-1], P: 1})
+	}
+	return out
+}
+
+// CCDF returns the complementary distribution P[X > x], the form the
+// paper plots for error tails (Figs. 8, 9, 10, 16).
+func CCDF(xs []float64, maxPoints int) []CDFPoint {
+	cdf := CDF(xs, maxPoints)
+	out := make([]CDFPoint, len(cdf))
+	for i, p := range cdf {
+		out[i] = CDFPoint{X: p.X, P: 1 - p.P}
+	}
+	return out
+}
+
+// RSquared computes the coefficient of determination of predicted vs
+// observed values — the paper reports R² = 0.9970 (MCS) and 0.9862
+// (retransmissions) between NR-Scope and ground truth (§5.4.2).
+func RSquared(observed, predicted []float64) float64 {
+	if len(observed) != len(predicted) || len(observed) == 0 {
+		return math.NaN()
+	}
+	mean := Mean(observed)
+	var ssRes, ssTot float64
+	for i := range observed {
+		d := observed[i] - predicted[i]
+		ssRes += d * d
+		m := observed[i] - mean
+		ssTot += m * m
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Series is one plottable line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is one reproduced result: the same rows/series the paper plots.
+type Figure struct {
+	ID     string // e.g. "fig7a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// AddCDF appends a distribution as a series.
+func (f *Figure) AddCDF(name string, points []CDFPoint) {
+	s := Series{Name: name}
+	for _, p := range points {
+		s.X = append(s.X, p.X)
+		s.Y = append(s.Y, p.P)
+	}
+	f.Series = append(f.Series, s)
+}
+
+// Note records a headline number (the quantities quoted in the text).
+func (f *Figure) Note(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the figure as aligned text rows.
+func (f *Figure) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n", f.ID, f.Title)
+	if f.XLabel != "" || f.YLabel != "" {
+		out += fmt.Sprintf("   x: %s | y: %s\n", f.XLabel, f.YLabel)
+	}
+	for _, s := range f.Series {
+		out += fmt.Sprintf("  series %q (%d points)\n", s.Name, len(s.X))
+		for i := range s.X {
+			out += fmt.Sprintf("    %12.4f  %12.6f\n", s.X[i], s.Y[i])
+		}
+	}
+	for _, n := range f.Notes {
+		out += "  note: " + n + "\n"
+	}
+	return out
+}
+
+// Summary renders only the headline notes and series shapes.
+func (f *Figure) Summary() string {
+	out := fmt.Sprintf("== %s: %s ==\n", f.ID, f.Title)
+	for _, s := range f.Series {
+		out += fmt.Sprintf("  series %q: %d points", s.Name, len(s.X))
+		if len(s.Y) > 0 {
+			out += fmt.Sprintf(" (first %.4g, last %.4g)", s.Y[0], s.Y[len(s.Y)-1])
+		}
+		out += "\n"
+	}
+	for _, n := range f.Notes {
+		out += "  note: " + n + "\n"
+	}
+	return out
+}

@@ -1,0 +1,336 @@
+// Package fusion implements the paper's §7 "post-processing library"
+// future-work item: NR-Scope instances on multiple USRPs decode multiple
+// cells, and their telemetry streams are fused into one aggregate view —
+// time-aligned cell load, a merged record stream, and cross-cell UE
+// handover detection (a session going silent on one cell immediately
+// followed by a new C-RNTI appearing on a neighbour).
+//
+// C-RNTIs are cell-local, so cross-cell identity can only be inferred:
+// the detector matches departure/arrival timing and compares the flow's
+// bitrate fingerprint before and after, reporting a confidence rather
+// than a claim.
+package fusion
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nrscope/internal/phy"
+	"nrscope/internal/telemetry"
+)
+
+// cellState tracks one monitored cell.
+type cellState struct {
+	id  uint16
+	mu  phy.Numerology
+	tti time.Duration
+
+	// Per-UE activity, maintained from the record stream.
+	ues map[uint16]*ueActivity
+
+	records int
+	bits    int64 // downlink TBS bits total (load accounting)
+}
+
+// activityBin buckets DCI activity for cross-cell correlation.
+const activityBin = 10 * time.Millisecond
+
+// ueActivity is the fused view of one C-RNTI on one cell.
+type ueActivity struct {
+	rnti      uint16
+	firstSeen time.Duration
+	lastSeen  time.Duration
+	bits      int64
+	dcis      int
+	bins      map[int64]bool // activityBin buckets with >=1 DCI
+}
+
+// meanRate returns the session's average downlink rate in bits/s.
+func (u *ueActivity) meanRate() float64 {
+	d := (u.lastSeen - u.firstSeen).Seconds()
+	if d <= 0 {
+		d = 1e-3
+	}
+	return float64(u.bits) / d
+}
+
+// Handover is one cross-cell mobility candidate.
+type Handover struct {
+	FromCell uint16
+	ToCell   uint16
+	FromRNTI uint16
+	ToRNTI   uint16
+	// At is the arrival time on the target cell.
+	At time.Duration
+	// Gap is the silence between the last DCI on the source cell and
+	// the first on the target.
+	Gap time.Duration
+	// Confidence in [0,1]: timing proximity combined with the bitrate
+	// fingerprint similarity of the two sessions.
+	Confidence float64
+}
+
+// String implements fmt.Stringer.
+func (h Handover) String() string {
+	return fmt.Sprintf("handover cell%d:0x%04x -> cell%d:0x%04x at %v (gap %v, conf %.2f)",
+		h.FromCell, h.FromRNTI, h.ToCell, h.ToRNTI, h.At.Round(time.Millisecond), h.Gap.Round(time.Millisecond), h.Confidence)
+}
+
+// Aggregator fuses multiple cells' telemetry streams.
+type Aggregator struct {
+	cells map[uint16]*cellState
+
+	// HandoverWindow bounds the silence gap considered a handover.
+	HandoverWindow time.Duration
+	// MinSessionBits filters noise sessions from handover matching.
+	MinSessionBits int64
+
+	handovers []Handover
+	merged    []TimedRecord
+}
+
+// TimedRecord is a telemetry record annotated with its cell and its
+// absolute time (cells may run different numerologies, so slot indices
+// alone do not align).
+type TimedRecord struct {
+	Cell uint16
+	At   time.Duration
+	Rec  telemetry.Record
+}
+
+// New creates an empty aggregator.
+func New() *Aggregator {
+	return &Aggregator{
+		cells:          make(map[uint16]*cellState),
+		HandoverWindow: 500 * time.Millisecond,
+		MinSessionBits: 10000,
+	}
+}
+
+// AddCell registers a monitored cell and its numerology.
+func (a *Aggregator) AddCell(cellID uint16, mu phy.Numerology) error {
+	if !mu.Valid() {
+		return fmt.Errorf("fusion: invalid numerology for cell %d", cellID)
+	}
+	if _, dup := a.cells[cellID]; dup {
+		return fmt.Errorf("fusion: cell %d already registered", cellID)
+	}
+	a.cells[cellID] = &cellState{
+		id: cellID, mu: mu, tti: mu.SlotDuration(),
+		ues: make(map[uint16]*ueActivity),
+	}
+	return nil
+}
+
+// Ingest feeds one record from a cell's scope into the aggregate.
+func (a *Aggregator) Ingest(cellID uint16, rec telemetry.Record) error {
+	c := a.cells[cellID]
+	if c == nil {
+		return fmt.Errorf("fusion: unknown cell %d", cellID)
+	}
+	at := time.Duration(rec.SlotIdx) * c.tti
+	a.merged = append(a.merged, TimedRecord{Cell: cellID, At: at, Rec: rec})
+	c.records++
+	if rec.Common {
+		return nil
+	}
+	u := c.ues[rec.RNTI]
+	if u == nil {
+		u = &ueActivity{rnti: rec.RNTI, firstSeen: at, bins: make(map[int64]bool)}
+		c.ues[rec.RNTI] = u
+		// A fresh C-RNTI: check whether it looks like an arrival from a
+		// recently silenced session on another cell.
+		a.matchHandover(c, u, at)
+	}
+	u.lastSeen = at
+	u.dcis++
+	u.bins[int64(at/activityBin)] = true
+	if rec.Downlink && !rec.IsRetx {
+		u.bits += int64(rec.TBS)
+		c.bits += int64(rec.TBS)
+	}
+	return nil
+}
+
+// matchHandover looks for the best recently-departed session elsewhere.
+func (a *Aggregator) matchHandover(to *cellState, arrival *ueActivity, at time.Duration) {
+	var best *Handover
+	for _, from := range a.cells {
+		if from.id == to.id {
+			continue
+		}
+		for _, u := range from.ues {
+			if u.bits < a.MinSessionBits {
+				continue
+			}
+			gap := at - u.lastSeen
+			if gap < 0 || gap > a.HandoverWindow {
+				continue
+			}
+			conf := 1 - gap.Seconds()/a.HandoverWindow.Seconds()
+			h := Handover{
+				FromCell: from.id, ToCell: to.id,
+				FromRNTI: u.rnti, ToRNTI: arrival.rnti,
+				At: at, Gap: gap, Confidence: conf,
+			}
+			if best == nil || h.Confidence > best.Confidence {
+				best = &h
+			}
+		}
+	}
+	if best != nil {
+		a.handovers = append(a.handovers, *best)
+	}
+}
+
+// rateSimilarity scores how alike two session bitrates are, in [0,1].
+func rateSimilarity(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	r := a / b
+	if r > 1 {
+		r = 1 / r
+	}
+	return r
+}
+
+// Handovers returns the detected candidates with their confidence
+// refined by the sessions' bitrate similarity.
+func (a *Aggregator) Handovers() []Handover {
+	out := make([]Handover, len(a.handovers))
+	copy(out, a.handovers)
+	for i := range out {
+		from := a.cells[out[i].FromCell]
+		to := a.cells[out[i].ToCell]
+		if from == nil || to == nil {
+			continue
+		}
+		fu := from.ues[out[i].FromRNTI]
+		tu := to.ues[out[i].ToRNTI]
+		if fu == nil || tu == nil {
+			continue
+		}
+		sim := rateSimilarity(fu.meanRate(), tu.meanRate())
+		out[i].Confidence = 0.5*out[i].Confidence + 0.5*sim
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// CACandidate is a carrier-aggregation hypothesis: two cell-local
+// identities whose DCI activity is so correlated in time that they look
+// like one device served on two carriers (§7: the fused streams are
+// "analyzed for carrier aggregation").
+type CACandidate struct {
+	CellA, CellB uint16
+	RNTIA, RNTIB uint16
+	// Overlap is the fraction of the smaller session's active 10 ms
+	// bins that are also active on the other carrier.
+	Overlap float64
+}
+
+// String implements fmt.Stringer.
+func (c CACandidate) String() string {
+	return fmt.Sprintf("carrier-aggregation cell%d:0x%04x ~ cell%d:0x%04x (overlap %.2f)",
+		c.CellA, c.RNTIA, c.CellB, c.RNTIB, c.Overlap)
+}
+
+// CarrierAggregation scans cross-cell session pairs and returns those
+// whose activity overlap meets minOverlap (e.g. 0.7). Sessions shorter
+// than ten bins are ignored: tiny sessions correlate by chance.
+func (a *Aggregator) CarrierAggregation(minOverlap float64) []CACandidate {
+	type entry struct {
+		cell uint16
+		u    *ueActivity
+	}
+	var all []entry
+	for _, c := range a.cells {
+		for _, u := range c.ues {
+			if len(u.bins) >= 10 {
+				all = append(all, entry{c.id, u})
+			}
+		}
+	}
+	var out []CACandidate
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[i].cell == all[j].cell {
+				continue
+			}
+			ov := binOverlap(all[i].u.bins, all[j].u.bins)
+			if ov >= minOverlap {
+				out = append(out, CACandidate{
+					CellA: all[i].cell, CellB: all[j].cell,
+					RNTIA: all[i].u.rnti, RNTIB: all[j].u.rnti,
+					Overlap: ov,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x].Overlap > out[y].Overlap })
+	return out
+}
+
+// binOverlap is |A∩B| / min(|A|,|B|).
+func binOverlap(a, b map[int64]bool) float64 {
+	small, big := a, b
+	if len(b) < len(a) {
+		small, big = b, a
+	}
+	if len(small) == 0 {
+		return 0
+	}
+	n := 0
+	for bin := range small {
+		if big[bin] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(small))
+}
+
+// Merged returns the fused record stream in absolute-time order — the
+// "aggregate data stream" of §7.
+func (a *Aggregator) Merged() []TimedRecord {
+	out := make([]TimedRecord, len(a.merged))
+	copy(out, a.merged)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// CellLoad reports a cell's mean downlink load in bits/s over the span
+// it has been observed.
+func (a *Aggregator) CellLoad(cellID uint16) (float64, error) {
+	c := a.cells[cellID]
+	if c == nil {
+		return 0, fmt.Errorf("fusion: unknown cell %d", cellID)
+	}
+	var span time.Duration
+	for _, u := range c.ues {
+		if u.lastSeen > span {
+			span = u.lastSeen
+		}
+	}
+	if span <= 0 {
+		return 0, nil
+	}
+	return float64(c.bits) / span.Seconds(), nil
+}
+
+// ActiveUEs reports how many UEs a cell has seen in total and within
+// the trailing window ending at now.
+func (a *Aggregator) ActiveUEs(cellID uint16, now, window time.Duration) (total, recent int, err error) {
+	c := a.cells[cellID]
+	if c == nil {
+		return 0, 0, fmt.Errorf("fusion: unknown cell %d", cellID)
+	}
+	for _, u := range c.ues {
+		total++
+		if u.lastSeen >= now-window {
+			recent++
+		}
+	}
+	return total, recent, nil
+}

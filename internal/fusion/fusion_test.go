@@ -1,0 +1,190 @@
+package fusion
+
+import (
+	"testing"
+	"time"
+
+	"nrscope/internal/phy"
+	"nrscope/internal/telemetry"
+)
+
+func rec(slot int, rnti uint16, tbs int) telemetry.Record {
+	return telemetry.Record{SlotIdx: slot, RNTI: rnti, Downlink: true, TBS: tbs}
+}
+
+func twoCells(t *testing.T) *Aggregator {
+	t.Helper()
+	a := New()
+	if err := a.AddCell(1, phy.Mu1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddCell(2, phy.Mu0); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAddCellValidation(t *testing.T) {
+	a := New()
+	if err := a.AddCell(1, phy.Mu1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddCell(1, phy.Mu1); err == nil {
+		t.Error("duplicate cell accepted")
+	}
+	if err := a.AddCell(2, phy.Numerology(9)); err == nil {
+		t.Error("invalid numerology accepted")
+	}
+	if err := a.Ingest(99, rec(0, 1, 100)); err == nil {
+		t.Error("unknown cell ingested")
+	}
+}
+
+func TestMergedStreamTimeOrdered(t *testing.T) {
+	a := twoCells(t)
+	// Cell 1 runs 0.5 ms slots, cell 2 runs 1 ms slots: slot indices do
+	// not align, absolute times must.
+	_ = a.Ingest(1, rec(100, 0x11, 1000)) // t = 50 ms
+	_ = a.Ingest(2, rec(40, 0x22, 1000))  // t = 40 ms
+	_ = a.Ingest(1, rec(60, 0x11, 1000))  // t = 30 ms
+	m := a.Merged()
+	if len(m) != 3 {
+		t.Fatalf("merged %d records", len(m))
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].At < m[i-1].At {
+			t.Fatalf("merged stream out of order: %v after %v", m[i].At, m[i-1].At)
+		}
+	}
+	if m[0].Cell != 1 || m[0].At != 30*time.Millisecond {
+		t.Errorf("first merged record wrong: %+v", m[0])
+	}
+}
+
+func TestHandoverDetected(t *testing.T) {
+	a := twoCells(t)
+	// A busy session on cell 1 (slots 0..400 at 0.5 ms = 0..200 ms).
+	for s := 0; s <= 400; s += 4 {
+		_ = a.Ingest(1, rec(s, 0x4601, 8000))
+	}
+	// Silence, then a new C-RNTI on cell 2 at 280 ms (slot 280 at 1 ms)
+	// with a similar rate.
+	for s := 280; s <= 600; s += 8 {
+		_ = a.Ingest(2, rec(s, 0x7777, 16000))
+	}
+	hos := a.Handovers()
+	if len(hos) != 1 {
+		t.Fatalf("detected %d handovers, want 1", len(hos))
+	}
+	h := hos[0]
+	if h.FromCell != 1 || h.ToCell != 2 || h.FromRNTI != 0x4601 || h.ToRNTI != 0x7777 {
+		t.Errorf("handover endpoints wrong: %+v", h)
+	}
+	if h.Gap != 80*time.Millisecond {
+		t.Errorf("gap = %v, want 80ms", h.Gap)
+	}
+	if h.Confidence < 0.5 {
+		t.Errorf("confidence %.2f too low for a clean handover", h.Confidence)
+	}
+}
+
+func TestNoHandoverOutsideWindow(t *testing.T) {
+	a := twoCells(t)
+	for s := 0; s <= 400; s += 4 {
+		_ = a.Ingest(1, rec(s, 0x4601, 8000))
+	}
+	// Arrival 2 s later: beyond the 500 ms window.
+	_ = a.Ingest(2, rec(2200, 0x7777, 8000))
+	if hos := a.Handovers(); len(hos) != 0 {
+		t.Errorf("spurious handover: %+v", hos)
+	}
+}
+
+func TestNoHandoverForTinySessions(t *testing.T) {
+	a := twoCells(t)
+	_ = a.Ingest(1, rec(100, 0x4601, 100)) // 100 bits: below MinSessionBits
+	_ = a.Ingest(2, rec(60, 0x7777, 8000))
+	if hos := a.Handovers(); len(hos) != 0 {
+		t.Errorf("tiny session matched: %+v", hos)
+	}
+}
+
+func TestCommonRecordsDoNotCreateUEs(t *testing.T) {
+	a := twoCells(t)
+	common := rec(10, 0xFFFF, 1000)
+	common.Common = true
+	_ = a.Ingest(1, common)
+	total, _, err := a.ActiveUEs(1, time.Second, time.Second)
+	if err != nil || total != 0 {
+		t.Errorf("common record created a UE: total=%d err=%v", total, err)
+	}
+}
+
+func TestCellLoadAndActiveUEs(t *testing.T) {
+	a := twoCells(t)
+	// 1 Mbit over 100 ms on cell 1.
+	for s := 0; s <= 200; s += 2 {
+		_ = a.Ingest(1, rec(s, 0x4601, 10000))
+	}
+	load, err := a.CellLoad(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load < 5e6 || load > 15e6 {
+		t.Errorf("cell load %.0f bits/s implausible", load)
+	}
+	total, recent, err := a.ActiveUEs(1, 100*time.Millisecond, 20*time.Millisecond)
+	if err != nil || total != 1 || recent != 1 {
+		t.Errorf("ActiveUEs = (%d,%d,%v)", total, recent, err)
+	}
+	if _, err := a.CellLoad(42); err == nil {
+		t.Error("unknown cell load accepted")
+	}
+}
+
+func TestCarrierAggregationDetected(t *testing.T) {
+	a := twoCells(t)
+	// Correlated bursts: the same device active on both carriers in the
+	// same 10 ms windows (cell 1 at 0.5 ms TTI, cell 2 at 1 ms TTI).
+	for burst := 0; burst < 20; burst++ {
+		base1 := burst * 100 // cell 1 slots: 100 slots = 50 ms apart
+		base2 := burst * 50  // cell 2 slots: same wall-clock spacing
+		for k := 0; k < 10; k += 2 {
+			_ = a.Ingest(1, rec(base1+k, 0x4601, 4000))
+			_ = a.Ingest(2, rec(base2+k/2, 0x7001, 4000))
+		}
+	}
+	// An uncorrelated bystander on cell 2, active in the gaps.
+	for burst := 0; burst < 20; burst++ {
+		_ = a.Ingest(2, rec(burst*50+30, 0x7002, 4000))
+	}
+	cas := a.CarrierAggregation(0.7)
+	if len(cas) != 1 {
+		t.Fatalf("CA candidates = %d (%v), want 1", len(cas), cas)
+	}
+	got := cas[0]
+	pair := map[uint16]bool{got.RNTIA: true, got.RNTIB: true}
+	if !pair[0x4601] || !pair[0x7001] {
+		t.Errorf("wrong CA pair: %v", got)
+	}
+	if got.Overlap < 0.9 {
+		t.Errorf("overlap %.2f for fully correlated sessions", got.Overlap)
+	}
+}
+
+func TestCarrierAggregationIgnoresTinySessions(t *testing.T) {
+	a := twoCells(t)
+	_ = a.Ingest(1, rec(0, 0x4601, 4000))
+	_ = a.Ingest(2, rec(0, 0x7001, 4000))
+	if cas := a.CarrierAggregation(0.5); len(cas) != 0 {
+		t.Errorf("tiny sessions matched: %v", cas)
+	}
+}
+
+func TestHandoverStringer(t *testing.T) {
+	h := Handover{FromCell: 1, ToCell: 2, FromRNTI: 0x4601, ToRNTI: 0x7777, At: time.Second, Gap: 80 * time.Millisecond, Confidence: 0.9}
+	s := h.String()
+	if len(s) == 0 || s[:8] != "handover" {
+		t.Errorf("stringer output %q", s)
+	}
+}

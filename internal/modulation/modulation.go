@@ -1,0 +1,194 @@
+// Package modulation provides the constellation mappers and soft
+// demappers for the modulation orders used on 5G physical channels:
+// QPSK (PDCCH, PBCH), and 16/64/256-QAM (PDSCH).
+//
+// Symbols are complex128 with unit average energy. The demapper produces
+// max-log LLRs (positive = bit 0 likelier) for an AWGN channel with noise
+// variance sigma^2 per complex dimension pair (i.e. N0).
+package modulation
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scheme identifies a modulation order.
+type Scheme int
+
+// Modulation schemes, with their 3GPP Qm values (bits per symbol).
+const (
+	QPSK   Scheme = 2
+	QAM16  Scheme = 4
+	QAM64  Scheme = 6
+	QAM256 Scheme = 8
+)
+
+// BitsPerSymbol returns Qm.
+func (s Scheme) BitsPerSymbol() int { return int(s) }
+
+// String implements fmt.Stringer using the 3GPP spelling.
+func (s Scheme) String() string {
+	switch s {
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16QAM"
+	case QAM64:
+		return "64QAM"
+	case QAM256:
+		return "256QAM"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// FromQm maps a Qm value (2, 4, 6, 8) to a Scheme.
+func FromQm(qm int) (Scheme, error) {
+	switch qm {
+	case 2:
+		return QPSK, nil
+	case 4:
+		return QAM16, nil
+	case 6:
+		return QAM64, nil
+	case 8:
+		return QAM256, nil
+	default:
+		return 0, fmt.Errorf("modulation: unsupported Qm %d", qm)
+	}
+}
+
+// pamLevels returns the per-dimension Gray-mapped PAM amplitudes for
+// sqrt(M)-PAM and the normalisation factor, following the TS 38.211 §5.1
+// constructions where each axis is a Gray-coded PAM driven by half the
+// bits of the symbol.
+func (s Scheme) pamBits() int { return int(s) / 2 }
+
+// norm returns the amplitude normalisation so E[|x|^2] = 1.
+func (s Scheme) norm() float64 {
+	switch s {
+	case QPSK:
+		return 1 / math.Sqrt2
+	case QAM16:
+		return 1 / math.Sqrt(10)
+	case QAM64:
+		return 1 / math.Sqrt(42)
+	case QAM256:
+		return 1 / math.Sqrt(170)
+	default:
+		panic("modulation: unknown scheme")
+	}
+}
+
+// grayPAM maps n bits (MSB-first) to an unnormalised PAM level following
+// the 38.211 convention: bit 0 selects the sign (0 -> positive), later
+// bits refine amplitude so that Gray adjacency holds.
+func grayPAM(bits []uint8) float64 {
+	// 38.211 builds the level as a nested expression, e.g. 64QAM I-axis:
+	// (1-2b0)[4-(1-2b2)[2-(1-2b4)]]. Generalise the nesting.
+	n := len(bits)
+	v := 1.0
+	for i := n - 1; i >= 1; i-- {
+		v = float64(int(1)<<uint(n-i)) - sgn(bits[i])*v
+	}
+	return sgn(bits[0]) * v
+}
+
+func sgn(b uint8) float64 {
+	if b == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Map modulates a bit slice into symbols. len(bits) must be a multiple of
+// BitsPerSymbol.
+func Map(s Scheme, bitstream []uint8) []complex128 {
+	qm := s.BitsPerSymbol()
+	if len(bitstream)%qm != 0 {
+		panic(fmt.Sprintf("modulation: %d bits not a multiple of Qm %d", len(bitstream), qm))
+	}
+	half := s.pamBits()
+	norm := s.norm()
+	out := make([]complex128, len(bitstream)/qm)
+	iBits := make([]uint8, half)
+	qBits := make([]uint8, half)
+	for k := range out {
+		chunk := bitstream[k*qm : (k+1)*qm]
+		// 38.211 interleaves: even-indexed bits drive I, odd-indexed Q.
+		for j := 0; j < half; j++ {
+			iBits[j] = chunk[2*j]
+			qBits[j] = chunk[2*j+1]
+		}
+		out[k] = complex(grayPAM(iBits)*norm, grayPAM(qBits)*norm)
+	}
+	return out
+}
+
+// Demap produces max-log LLRs for each bit of each symbol under AWGN with
+// noise variance n0 (total, both dimensions). Positive LLR favours bit 0.
+func Demap(s Scheme, symbols []complex128, n0 float64) []float64 {
+	if n0 <= 0 {
+		n0 = 1e-12
+	}
+	qm := s.BitsPerSymbol()
+	half := s.pamBits()
+	levels, labels := pamTable(s)
+	out := make([]float64, len(symbols)*qm)
+	for k, sym := range symbols {
+		demapAxis(real(sym), levels, labels, half, n0, out[k*qm:], 0)
+		demapAxis(imag(sym), levels, labels, half, n0, out[k*qm:], 1)
+	}
+	return out
+}
+
+// demapAxis writes the LLRs of one axis into out at positions
+// offset, offset+2, offset+4, ... (matching the I/Q bit interleave).
+func demapAxis(y float64, levels []float64, labels [][]uint8, half int, n0 float64, out []float64, offset int) {
+	for b := 0; b < half; b++ {
+		best0 := math.Inf(1)
+		best1 := math.Inf(1)
+		for li, lv := range levels {
+			d := y - lv
+			m := d * d
+			if labels[li][b] == 0 {
+				if m < best0 {
+					best0 = m
+				}
+			} else if m < best1 {
+				best1 = m
+			}
+		}
+		out[offset+2*b] = (best1 - best0) / n0
+	}
+}
+
+// pamTable enumerates the normalised PAM levels of one axis together with
+// their bit labels.
+func pamTable(s Scheme) (levels []float64, labels [][]uint8) {
+	half := s.pamBits()
+	n := 1 << uint(half)
+	norm := s.norm()
+	levels = make([]float64, n)
+	labels = make([][]uint8, n)
+	for v := 0; v < n; v++ {
+		bits := make([]uint8, half)
+		for j := 0; j < half; j++ {
+			bits[j] = uint8(v>>uint(half-1-j)) & 1
+		}
+		levels[v] = grayPAM(bits) * norm
+		labels[v] = bits
+	}
+	return levels, labels
+}
+
+// HardDecision slices LLRs to bits: negative LLR -> 1.
+func HardDecision(llr []float64) []uint8 {
+	out := make([]uint8, len(llr))
+	for i, v := range llr {
+		if v < 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package pbecc
+
+import (
+	"testing"
+
+	"nrscope/internal/telemetry"
+)
+
+func rec(slot int, rnti uint16, tbs int) telemetry.Record {
+	return telemetry.Record{SlotIdx: slot, RNTI: rnti, Downlink: true, TBS: tbs}
+}
+
+func TestTelemetryTracksAllocation(t *testing.T) {
+	c := NewTelemetry(0x4601, 0.0005)
+	// 10 kbit every slot = 20 Mbit/s.
+	for s := 1; s <= 200; s++ {
+		c.OnRecord(rec(s, 0x4601, 10000))
+	}
+	rate := c.Rate()
+	want := 0.9 * 20e6
+	if rate < want*0.9 || rate > want*1.1 {
+		t.Errorf("rate %.1f Mbps, want ~%.1f", rate/1e6, want/1e6)
+	}
+}
+
+func TestTelemetryAddsSpare(t *testing.T) {
+	c := NewTelemetry(0x4601, 0.0005)
+	for s := 1; s <= 100; s++ {
+		c.OnRecord(rec(s, 0x4601, 5000))
+	}
+	base := c.Rate()
+	c.OnSpare(8e6)
+	if got := c.Rate(); got <= base || got < base+0.85*0.9*8e6 {
+		t.Errorf("spare not folded in: base %.1f, with spare %.1f Mbps", base/1e6, got/1e6)
+	}
+}
+
+func TestTelemetryIgnoresOtherTraffic(t *testing.T) {
+	c := NewTelemetry(0x4601, 0.0005)
+	c.OnRecord(rec(1, 0x9999, 50000))                                                   // other UE
+	c.OnRecord(telemetry.Record{SlotIdx: 2, RNTI: 0x4601, Downlink: false, TBS: 50000}) // uplink
+	r := rec(3, 0x4601, 50000)
+	r.IsRetx = true
+	c.OnRecord(r) // retransmission
+	if c.Rate() != c.MinRate {
+		t.Errorf("rate %.0f after only irrelevant records, want the probe floor %.0f", c.Rate(), c.MinRate)
+	}
+}
+
+func TestTelemetryDecaysWhenIdle(t *testing.T) {
+	c := NewTelemetry(0x4601, 0.0005)
+	for s := 1; s <= 100; s++ {
+		c.OnRecord(rec(s, 0x4601, 10000))
+	}
+	before := c.Rate()
+	// 2000 idle slots (1 s) with periodic idle notifications.
+	for s := 101; s <= 2100; s += 10 {
+		c.OnIdle(s)
+	}
+	after := c.Rate()
+	if after >= before {
+		t.Errorf("rate did not decay during silence: %.1f -> %.1f Mbps", before/1e6, after/1e6)
+	}
+}
+
+func TestAIMDProbesAndBacksOff(t *testing.T) {
+	a := NewAIMD(1e6, 100)
+	start := a.Rate()
+	for i := 0; i < 500; i++ {
+		a.OnSlot(0) // no queueing
+	}
+	if a.Rate() <= start {
+		t.Error("AIMD never probed up")
+	}
+	grown := a.Rate()
+	a.OnSlot(0.5) // massive queueing delay
+	if a.Rate() >= grown {
+		t.Error("AIMD did not back off on delay")
+	}
+	if a.Rate() < grown/2-1 {
+		t.Errorf("backoff overshot: %.1f vs %.1f", a.Rate(), grown)
+	}
+	// Floor.
+	for i := 0; i < 50; i++ {
+		a.OnSlot(1)
+	}
+	if a.Rate() < 100e3 {
+		t.Errorf("rate %f below floor", a.Rate())
+	}
+}
+
+func TestControllersImplementInterface(t *testing.T) {
+	var _ Controller = NewTelemetry(1, 0.0005)
+	var _ Controller = NewAIMD(1e6, 100)
+	if NewTelemetry(1, 0.0005).Name() == NewAIMD(1e6, 100).Name() {
+		t.Error("controllers share a name")
+	}
+}

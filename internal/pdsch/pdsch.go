@@ -1,0 +1,186 @@
+// Package pdsch implements the shared-channel processing used for the
+// broadcast payloads NR-Scope actually decodes — SIB1, the RAR (MSG 2)
+// and the RRC Setup (MSG 4) — plus the PBCH carrying the MIB, and filler
+// generation for user-plane transport blocks (whose content the scope
+// never inspects; only their DCIs matter).
+//
+// The FEC is the convolutional/Viterbi substitute for 5G's LDPC
+// (DESIGN.md §2). Payloads are CRC24A-protected, coded, rate matched to
+// the grant's channel-bit budget, scrambled with the cell/RNTI Gold
+// sequence and modulated at the grant's order onto the allocated REs.
+package pdsch
+
+import (
+	"fmt"
+
+	"nrscope/internal/bits"
+	"nrscope/internal/convcode"
+	"nrscope/internal/dci"
+	"nrscope/internal/modulation"
+	"nrscope/internal/phy"
+)
+
+// allocationREs enumerates the REs of a grant's time-frequency
+// allocation in mapping order (symbol-major), limited to the first n.
+func allocationREs(g dci.Grant, n int) []phy.RE {
+	out := make([]phy.RE, 0, n)
+	for sym := g.Time.StartSymbol; sym < g.Time.StartSymbol+g.Time.NumSymbols; sym++ {
+		for prb := g.StartPRB; prb < g.StartPRB+g.NumPRB; prb++ {
+			for off := 0; off < phy.SubcarriersPerPRB; off++ {
+				if len(out) == n {
+					return out
+				}
+				out = append(out, phy.RE{Symbol: sym, Subcarrier: prb*phy.SubcarriersPerPRB + off})
+			}
+		}
+	}
+	return out
+}
+
+// Encode writes a transport block carrying payload onto the grid per the
+// grant. The payload must fit the grant's TBS (minus the 24-bit CRC).
+// Unused TBS bits are zero padding, exactly like a real MAC PDU.
+func Encode(g *phy.Grid, grant dci.Grant, payload []byte, cellID uint16) error {
+	if grant.TBS < 24 || len(payload)*8 > grant.TBS-24 {
+		return fmt.Errorf("pdsch: payload %d bytes exceeds TBS %d bits", len(payload), grant.TBS)
+	}
+	tb := make([]uint8, grant.TBS-24)
+	copy(tb, bits.Unpack(payload, len(payload)*8))
+	block := bits.AttachCRC(bits.CRC24A, tb)
+	coded, err := convcode.EncodeAndMatch(block, grant.NBits)
+	if err != nil {
+		return fmt.Errorf("pdsch: %w", err)
+	}
+	bits.ScrambleInPlace(bits.PDSCHScramblingInit(grant.RNTI, cellID), coded)
+	scheme, err := modulation.FromQm(grant.Qm)
+	if err != nil {
+		return fmt.Errorf("pdsch: %w", err)
+	}
+	syms := modulation.Map(scheme, coded)
+	res := allocationREs(grant, len(syms))
+	if len(res) < len(syms) {
+		return fmt.Errorf("pdsch: allocation too small: %d REs for %d symbols", len(res), len(syms))
+	}
+	for i, re := range res {
+		g.Set(re.Symbol, re.Subcarrier, syms[i])
+	}
+	return nil
+}
+
+// Decode extracts and decodes a transport block addressed by the grant,
+// returning the payload bytes (the TBS payload, CRC-verified) and
+// whether the CRC passed.
+func Decode(g *phy.Grid, grant dci.Grant, cellID uint16, n0 float64) ([]byte, bool) {
+	if grant.TBS < 24 {
+		return nil, false
+	}
+	scheme, err := modulation.FromQm(grant.Qm)
+	if err != nil {
+		return nil, false
+	}
+	nSyms := grant.NBits / grant.Qm
+	res := allocationREs(grant, nSyms)
+	if len(res) < nSyms {
+		return nil, false
+	}
+	syms := make([]complex128, nSyms)
+	for i, re := range res {
+		syms[i] = g.At(re.Symbol, re.Subcarrier)
+	}
+	llr := modulation.Demap(scheme, syms, n0)
+	seq := bits.GoldSequence(bits.PDSCHScramblingInit(grant.RNTI, cellID), len(llr))
+	for i := range llr {
+		if seq[i] == 1 {
+			llr[i] = -llr[i]
+		}
+	}
+	blockLen := grant.TBS // TB payload + CRC24A
+	decoded := convcode.RecoverAndDecode(llr, blockLen)
+	payload, ok := bits.CheckCRC(bits.CRC24A, decoded)
+	if !ok {
+		return nil, false
+	}
+	return bits.Pack(payload), true
+}
+
+// FillRandom occupies a grant's REs with pseudo-random unit-energy QPSK
+// symbols — user-plane PDSCH whose content the scope never reads. The
+// seed keeps the fill deterministic per (slot, rnti).
+func FillRandom(g *phy.Grid, grant dci.Grant, cellID uint16, slot int) {
+	nSyms := grant.NBits / grant.Qm
+	if nSyms < 1 {
+		return
+	}
+	cinit := bits.PDSCHScramblingInit(grant.RNTI, cellID) ^ uint32(slot)<<8
+	seq := bits.GoldSequence(cinit&0x7FFFFFFF, 2*nSyms)
+	syms := modulation.Map(modulation.QPSK, seq)
+	for i, re := range allocationREs(grant, nSyms) {
+		g.Set(re.Symbol, re.Subcarrier, syms[i])
+	}
+}
+
+// PBCH geometry: the synchronisation signal block occupies a fixed
+// region the UE can find before knowing anything about the cell. We
+// place it at symbols 4..7 in the SSB slot, 20 PRBs wide, starting at
+// PBCHStartPRB.
+const (
+	PBCHStartPRB  = 0
+	PBCHNumPRB    = 20
+	PBCHStartSym  = 4
+	PBCHNumSym    = 4
+	pbchBits      = PBCHNumPRB * phy.SubcarriersPerPRB * PBCHNumSym * 2 // QPSK
+	pbchBlockBits = 256                                                 // MIB payload + CRC, conv coded into pbchBits
+)
+
+func pbchREs() []phy.RE {
+	out := make([]phy.RE, 0, PBCHNumPRB*phy.SubcarriersPerPRB*PBCHNumSym)
+	for sym := PBCHStartSym; sym < PBCHStartSym+PBCHNumSym; sym++ {
+		for sc := PBCHStartPRB * phy.SubcarriersPerPRB; sc < (PBCHStartPRB+PBCHNumPRB)*phy.SubcarriersPerPRB; sc++ {
+			out = append(out, phy.RE{Symbol: sym, Subcarrier: sc})
+		}
+	}
+	return out
+}
+
+// EncodePBCH writes the MIB bytes onto the PBCH region. mibData must fit
+// pbchBlockBits-24 bits.
+func EncodePBCH(g *phy.Grid, mibData []byte, cellID uint16) error {
+	if len(mibData)*8 > pbchBlockBits-24 {
+		return fmt.Errorf("pdsch: MIB %d bytes exceeds PBCH budget", len(mibData))
+	}
+	tb := make([]uint8, pbchBlockBits-24)
+	copy(tb, bits.Unpack(mibData, len(mibData)*8))
+	block := bits.AttachCRC(bits.CRC24A, tb)
+	coded, err := convcode.EncodeAndMatch(block, pbchBits)
+	if err != nil {
+		return fmt.Errorf("pdsch: PBCH: %w", err)
+	}
+	bits.ScrambleInPlace(bits.PDCCHScramblingInit(0, cellID)^0x55555, coded)
+	syms := modulation.Map(modulation.QPSK, coded)
+	for i, re := range pbchREs() {
+		g.Set(re.Symbol, re.Subcarrier, syms[i])
+	}
+	return nil
+}
+
+// DecodePBCH attempts to decode a MIB from the PBCH region.
+func DecodePBCH(g *phy.Grid, cellID uint16, n0 float64) ([]byte, bool) {
+	res := pbchREs()
+	syms := make([]complex128, len(res))
+	for i, re := range res {
+		syms[i] = g.At(re.Symbol, re.Subcarrier)
+	}
+	llr := modulation.Demap(modulation.QPSK, syms, n0)
+	seq := bits.GoldSequence(bits.PDCCHScramblingInit(0, cellID)^0x55555, len(llr))
+	for i := range llr {
+		if seq[i] == 1 {
+			llr[i] = -llr[i]
+		}
+	}
+	decoded := convcode.RecoverAndDecode(llr, pbchBlockBits)
+	payload, ok := bits.CheckCRC(bits.CRC24A, decoded)
+	if !ok {
+		return nil, false
+	}
+	return bits.Pack(payload), true
+}

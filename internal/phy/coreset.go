@@ -1,0 +1,202 @@
+package phy
+
+import "fmt"
+
+// PDCCH control-channel geometry (TS 38.211 §7.3.2, TS 38.213 §10.1).
+//
+// A REG (resource-element group) is one PRB in one OFDM symbol: 12 REs of
+// which 3 carry DMRS (subcarriers 1, 5, 9 within the PRB) and 9 carry
+// control data. A CCE is 6 REGs, so one CCE carries 54 data REs = 108
+// QPSK-modulated bits. A DCI candidate at aggregation level L occupies L
+// contiguous CCEs (non-interleaved mapping).
+
+// REGDMRSOffsets are the subcarrier offsets of the PDCCH DMRS within a REG.
+var REGDMRSOffsets = [3]int{1, 5, 9}
+
+// REGDataOffsets are the 9 data subcarrier offsets within a REG.
+var REGDataOffsets = [9]int{0, 2, 3, 4, 6, 7, 8, 10, 11}
+
+const (
+	// REGsPerCCE is fixed by the standard.
+	REGsPerCCE = 6
+	// DataREsPerREG is 12 minus the 3 DMRS REs.
+	DataREsPerREG = 9
+	// BitsPerCCE is the QPSK payload capacity of one CCE.
+	BitsPerCCE = REGsPerCCE * DataREsPerREG * 2 // 108
+)
+
+// AggregationLevels enumerates the valid DCI aggregation levels.
+var AggregationLevels = [5]int{1, 2, 4, 8, 16}
+
+// CORESET describes a control resource set: a block of PRBs over one or
+// two leading OFDM symbols of the slot.
+type CORESET struct {
+	ID        int
+	StartPRB  int // first PRB of the CORESET within the grid
+	NumPRB    int // width in PRBs; NumPRB*Duration must be a multiple of 6
+	Duration  int // OFDM symbols, 1 or 2
+	StartSym  int // first OFDM symbol (usually 0)
+	Interleav bool
+}
+
+// Validate checks the CORESET geometry.
+func (c CORESET) Validate() error {
+	if c.Duration < 1 || c.Duration > 2 {
+		return fmt.Errorf("phy: CORESET duration %d not in {1,2}", c.Duration)
+	}
+	if c.NumPRB <= 0 || (c.NumPRB*c.Duration)%REGsPerCCE != 0 {
+		return fmt.Errorf("phy: CORESET %d PRBs x %d symbols is not a whole number of CCEs", c.NumPRB, c.Duration)
+	}
+	if c.StartPRB < 0 || c.StartSym < 0 || c.StartSym+c.Duration > SymbolsPerSlot {
+		return fmt.Errorf("phy: CORESET position out of slot bounds")
+	}
+	return nil
+}
+
+// NumCCE returns the CORESET capacity in CCEs.
+func (c CORESET) NumCCE() int { return c.NumPRB * c.Duration / REGsPerCCE }
+
+// REGPosition returns the (prb, symbol) of REG index r under the
+// time-first REG numbering of TS 38.211 §7.3.2.2: REGs are numbered in
+// increasing order of symbol first, then PRB.
+func (c CORESET) REGPosition(r int) (prb, symbol int) {
+	prb = c.StartPRB + r/c.Duration
+	symbol = c.StartSym + r%c.Duration
+	return prb, symbol
+}
+
+// CCEREGs returns the REG indices of CCE i (non-interleaved mapping:
+// CCE i owns REGs 6i .. 6i+5).
+func (c CORESET) CCEREGs(cce int) [REGsPerCCE]int {
+	var out [REGsPerCCE]int
+	for j := 0; j < REGsPerCCE; j++ {
+		out[j] = cce*REGsPerCCE + j
+	}
+	return out
+}
+
+// CandidateDataREs enumerates, in mapping order, the data REs of a DCI
+// candidate occupying aggregation-level-many CCEs starting at startCCE.
+func (c CORESET) CandidateDataREs(startCCE, aggLevel int) []RE {
+	out := make([]RE, 0, aggLevel*REGsPerCCE*DataREsPerREG)
+	for cce := startCCE; cce < startCCE+aggLevel; cce++ {
+		for _, reg := range c.CCEREGs(cce) {
+			prb, sym := c.REGPosition(reg)
+			for _, off := range REGDataOffsets {
+				out = append(out, RE{Symbol: sym, Subcarrier: prb*SubcarriersPerPRB + off})
+			}
+		}
+	}
+	return out
+}
+
+// CandidateDMRSREs enumerates the DMRS REs of a candidate, in order.
+func (c CORESET) CandidateDMRSREs(startCCE, aggLevel int) []RE {
+	out := make([]RE, 0, aggLevel*REGsPerCCE*len(REGDMRSOffsets))
+	for cce := startCCE; cce < startCCE+aggLevel; cce++ {
+		for _, reg := range c.CCEREGs(cce) {
+			prb, sym := c.REGPosition(reg)
+			for _, off := range REGDMRSOffsets {
+				out = append(out, RE{Symbol: sym, Subcarrier: prb*SubcarriersPerPRB + off})
+			}
+		}
+	}
+	return out
+}
+
+// SearchSpaceType distinguishes common from UE-specific search spaces.
+type SearchSpaceType int
+
+// Search space types (TS 38.213 §10.1).
+const (
+	CommonSearchSpace SearchSpaceType = iota
+	UESearchSpace
+)
+
+// String implements fmt.Stringer.
+func (t SearchSpaceType) String() string {
+	if t == CommonSearchSpace {
+		return "common"
+	}
+	return "ue"
+}
+
+// SearchSpace configures blind-decoding candidates within a CORESET.
+type SearchSpace struct {
+	ID         int
+	Type       SearchSpaceType
+	Candidates map[int]int // aggregation level -> number of candidates M_L
+}
+
+// DefaultCommonCandidates mirrors the Type0/Type1 common search space
+// candidate counts used by the cells in the paper's evaluation.
+func DefaultCommonCandidates() map[int]int {
+	return map[int]int{4: 4, 8: 2, 16: 1}
+}
+
+// DefaultUECandidates mirrors a typical UE-specific configuration.
+func DefaultUECandidates() map[int]int {
+	return map[int]int{1: 6, 2: 6, 4: 4, 8: 2, 16: 1}
+}
+
+// hashing multipliers A_p of TS 38.213 §10.1, indexed by p mod 3.
+var hashA = [3]uint64{39827, 39829, 39839}
+
+const hashD = 65537
+
+// CandidateCCE computes the first CCE of candidate m at aggregation
+// level L in the given slot, per the TS 38.213 §10.1 hashing function.
+// For a common search space Y is 0; for a UE-specific search space Y is
+// derived from the C-RNTI and recursed once per slot. coresetID selects
+// the multiplier family.
+func CandidateCCE(ss SearchSpace, cs CORESET, rnti uint16, slot int, aggLevel, m int) (int, bool) {
+	nCCE := cs.NumCCE()
+	if aggLevel > nCCE {
+		return 0, false
+	}
+	mL := ss.Candidates[aggLevel]
+	if m >= mL || mL == 0 {
+		return 0, false
+	}
+	var y uint64
+	if ss.Type == UESearchSpace {
+		y = uint64(rnti)
+		if y == 0 {
+			y = 1
+		}
+		a := hashA[cs.ID%3]
+		for p := 0; p <= slot; p++ {
+			y = a * y % hashD
+		}
+	}
+	span := nCCE / aggLevel
+	if span == 0 {
+		return 0, false
+	}
+	idx := (y + uint64(m*nCCE/(aggLevel*mL))) % uint64(span)
+	return aggLevel * int(idx), true
+}
+
+// Candidate identifies one blind-decoding opportunity.
+type Candidate struct {
+	AggLevel int
+	Index    int // candidate index m within the level
+	StartCCE int
+}
+
+// SlotCandidates enumerates every candidate of the search space for a
+// slot, across all aggregation levels, in decreasing-level order (the
+// order real blind decoders use: fewer large candidates first).
+func SlotCandidates(ss SearchSpace, cs CORESET, rnti uint16, slot int) []Candidate {
+	var out []Candidate
+	for i := len(AggregationLevels) - 1; i >= 0; i-- {
+		l := AggregationLevels[i]
+		mL := ss.Candidates[l]
+		for m := 0; m < mL; m++ {
+			if cce, ok := CandidateCCE(ss, cs, rnti, slot, l, m); ok {
+				out = append(out, Candidate{AggLevel: l, Index: m, StartCCE: cce})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+// Package polar implements the polar coding chain used by the 5G PDCCH
+// (TS 38.212 §5.3.1): code construction, encoding, rate matching and a
+// successive-cancellation (SC) list-free decoder operating on LLRs.
+//
+// Two documented deviations from the 3GPP text (see DESIGN.md §2):
+//
+//   - The information-bit reliability order is generated at runtime with
+//     the β-expansion polarization-weight (PW) construction, β = 2^(1/4) —
+//     the method 3GPP used to design its frozen master sequence — instead
+//     of embedding the 1024-entry table from TS 38.212 §5.3.1.2.
+//   - Rate matching uses prefix puncturing plus repetition (no shortening
+//     branch and no sub-block interleaver). When the code is punctured,
+//     the punctured input indices are force-frozen, which preserves the
+//     essential property that a noiseless codeword always decodes exactly.
+//
+// Both sides of the simulated air interface (the gNB encoder and the
+// NR-Scope blind decoder) use this package, exactly as both sides of a
+// real deployment follow the same standard.
+package polar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// MaxN is the maximum mother code length for downlink polar codes
+// (TS 38.212: N <= 512 for PDCCH).
+const MaxN = 512
+
+// Code is a polar code instance for a fixed (K, E) pair: K information
+// bits (including any CRC the caller attached) rate-matched to E channel
+// bits. A Code is immutable after construction and safe for concurrent
+// use; per-call scratch buffers are allocated by Encode/Decode.
+type Code struct {
+	K int // information bits in
+	E int // rate-matched bits out
+	N int // mother code length (power of two)
+
+	punct    int    // number of punctured (untransmitted) leading coded bits
+	infoPos  []int  // input indices carrying information, ascending
+	isFrozen []bool // frozen mask over the N input positions
+
+	scratch sync.Pool // *scScratch, reused across Decode calls
+}
+
+// NewCode constructs the polar code for K information bits rate-matched
+// to E channel bits. It returns an error when the pair is infeasible
+// (K < 1, E < K, or K exceeding the mother code capacity).
+func NewCode(k, e int) (*Code, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("polar: K = %d < 1", k)
+	}
+	if e < k {
+		return nil, fmt.Errorf("polar: E = %d < K = %d (rate > 1)", e, k)
+	}
+	n := motherLength(k, e)
+	if k > n {
+		return nil, fmt.Errorf("polar: K = %d exceeds mother length N = %d", k, n)
+	}
+	c := &Code{K: k, E: e, N: n}
+	if e < n {
+		c.punct = n - e
+	}
+	if k > n-c.punct {
+		return nil, fmt.Errorf("polar: K = %d exceeds usable length N-P = %d", k, n-c.punct)
+	}
+	c.construct()
+	return c, nil
+}
+
+// motherLength picks N = 2^n: the smallest power of two covering E and K,
+// clamped to [32, MaxN]. K > MaxN is rejected by NewCode (the downlink
+// polar code does not exist beyond N = 512).
+func motherLength(k, e int) int {
+	n := 32
+	for n < e && n < MaxN {
+		n <<= 1
+	}
+	for n < k && n < MaxN {
+		n <<= 1
+	}
+	return n
+}
+
+// construct selects the frozen set: the punctured prefix indices are
+// force-frozen (they are incapable — their coded bits are never sent),
+// then the least reliable remaining positions are frozen until only K
+// information positions remain. Reliability is the PW β-expansion weight.
+func (c *Code) construct() {
+	type posWeight struct {
+		pos int
+		w   float64
+	}
+	beta := math.Pow(2, 0.25)
+	order := make([]posWeight, c.N)
+	nBits := intLog2(c.N)
+	for i := 0; i < c.N; i++ {
+		w := 0.0
+		for j := 0; j < nBits; j++ {
+			if i>>uint(j)&1 == 1 {
+				w += math.Pow(beta, float64(j))
+			}
+		}
+		order[i] = posWeight{pos: i, w: w}
+	}
+	// Sort by descending reliability; ties broken by higher index (which
+	// have higher polarization on average).
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].w != order[b].w {
+			return order[a].w > order[b].w
+		}
+		return order[a].pos > order[b].pos
+	})
+
+	c.isFrozen = make([]bool, c.N)
+	for i := 0; i < c.punct; i++ {
+		c.isFrozen[i] = true
+	}
+	c.infoPos = make([]int, 0, c.K)
+	for _, pw := range order {
+		if len(c.infoPos) == c.K {
+			break
+		}
+		if pw.pos < c.punct {
+			continue // force-frozen
+		}
+		c.infoPos = append(c.infoPos, pw.pos)
+	}
+	sort.Ints(c.infoPos)
+	frozenCount := 0
+	for i := range c.isFrozen {
+		c.isFrozen[i] = true
+		frozenCount++
+	}
+	for _, p := range c.infoPos {
+		c.isFrozen[p] = false
+		frozenCount--
+	}
+	_ = frozenCount
+}
+
+// Encode maps K information bits to E rate-matched channel bits.
+// It panics if len(info) != K.
+func (c *Code) Encode(info []uint8) []uint8 {
+	if len(info) != c.K {
+		panic(fmt.Sprintf("polar: Encode got %d bits, code has K = %d", len(info), c.K))
+	}
+	u := make([]uint8, c.N)
+	for i, p := range c.infoPos {
+		u[p] = info[i] & 1
+	}
+	transform(u)
+	// Rate matching: drop the punctured prefix, then repeat cyclically
+	// until E bits are emitted.
+	out := make([]uint8, c.E)
+	sent := c.N - c.punct
+	for i := 0; i < c.E; i++ {
+		out[i] = u[c.punct+i%sent]
+	}
+	return out
+}
+
+// transform applies the polar transform x = u · F^{⊗n} in place
+// (no bit-reversal permutation).
+func transform(u []uint8) {
+	n := len(u)
+	for length := 1; length < n; length <<= 1 {
+		for i := 0; i < n; i += 2 * length {
+			for j := 0; j < length; j++ {
+				u[i+j] ^= u[i+j+length]
+			}
+		}
+	}
+}
+
+// scScratch is the preallocated working memory of one SC decoding pass:
+// one LLR buffer per recursion depth plus the channel-LLR, partial-sum
+// and decision arrays. Pooled per Code, so steady-state decoding does
+// not allocate.
+type scScratch struct {
+	chLLR  []float64   // length N
+	levels [][]float64 // levels[d] has length N >> (d+1)
+	sums   []uint8     // length N (partial sums, becomes the codeword)
+	u      []uint8     // length N (decided input bits)
+}
+
+func (c *Code) newScratch() *scScratch {
+	s := &scScratch{
+		chLLR: make([]float64, c.N),
+		sums:  make([]uint8, c.N),
+		u:     make([]uint8, c.N),
+	}
+	for m := c.N / 2; m >= 1; m /= 2 {
+		s.levels = append(s.levels, make([]float64, m))
+	}
+	return s
+}
+
+// Decode runs successive-cancellation decoding over E channel LLRs
+// (positive LLR means bit 0 more likely) and returns the K decoded
+// information bits. It panics if len(llr) != E.
+func (c *Code) Decode(llr []float64) []uint8 {
+	if len(llr) != c.E {
+		panic(fmt.Sprintf("polar: Decode got %d LLRs, code has E = %d", len(llr), c.E))
+	}
+	s, _ := c.scratch.Get().(*scScratch)
+	if s == nil {
+		s = c.newScratch()
+	}
+	defer c.scratch.Put(s)
+	// Rate recovery: punctured positions get LLR 0 (erasure); repeated
+	// positions accumulate.
+	for i := range s.chLLR {
+		s.chLLR[i] = 0
+	}
+	sent := c.N - c.punct
+	for i := 0; i < c.E; i++ {
+		s.chLLR[c.punct+i%sent] += llr[i]
+	}
+	c.scDecode(s, s.chLLR, s.sums, 0, 0)
+	out := make([]uint8, c.K)
+	for i, p := range c.infoPos {
+		out[i] = s.u[p]
+	}
+	return out
+}
+
+// scDecode processes the subtree whose LLRs are llr (length N>>depth)
+// and whose leftmost leaf is input index base, writing the subtree's
+// partial sums into out.
+func (c *Code) scDecode(s *scScratch, llr []float64, out []uint8, base, depth int) {
+	n := len(llr)
+	if n == 1 {
+		var bit uint8
+		if !c.isFrozen[base] && llr[0] < 0 {
+			bit = 1
+		}
+		s.u[base] = bit
+		out[0] = bit
+		return
+	}
+	half := n / 2
+	tmp := s.levels[depth] // length half
+	// f step: LLRs for the left subtree.
+	for i := 0; i < half; i++ {
+		tmp[i] = fLLR(llr[i], llr[i+half])
+	}
+	c.scDecode(s, tmp, out[:half], base, depth+1)
+	// g step: LLRs for the right subtree given left partial sums.
+	for i := 0; i < half; i++ {
+		tmp[i] = gLLR(llr[i], llr[i+half], out[i])
+	}
+	c.scDecode(s, tmp, out[half:], base+half, depth+1)
+	// Combine partial sums in place.
+	for i := 0; i < half; i++ {
+		out[i] ^= out[i+half]
+	}
+}
+
+// fLLR is the min-sum check-node update.
+func fLLR(a, b float64) float64 {
+	s := 1.0
+	if a < 0 {
+		s = -s
+		a = -a
+	}
+	if b < 0 {
+		s = -s
+		b = -b
+	}
+	if a < b {
+		return s * a
+	}
+	return s * b
+}
+
+// gLLR is the variable-node update given the decoded upper bit.
+func gLLR(a, b float64, u uint8) float64 {
+	if u == 1 {
+		return b - a
+	}
+	return b + a
+}
+
+func intLog2(n int) int {
+	l := 0
+	for 1<<uint(l) < n {
+		l++
+	}
+	return l
+}

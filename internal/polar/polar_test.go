@@ -1,0 +1,317 @@
+package polar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bpskLLR converts coded bits to noiseless LLRs (bit 0 -> +m, 1 -> -m).
+func bpskLLR(bits []uint8, magnitude float64) []float64 {
+	out := make([]float64, len(bits))
+	for i, b := range bits {
+		if b == 0 {
+			out[i] = magnitude
+		} else {
+			out[i] = -magnitude
+		}
+	}
+	return out
+}
+
+func randomBits(rng *rand.Rand, n int) []uint8 {
+	out := make([]uint8, n)
+	for i := range out {
+		out[i] = uint8(rng.Intn(2))
+	}
+	return out
+}
+
+func TestNewCodeValidation(t *testing.T) {
+	cases := []struct {
+		k, e   int
+		wantOK bool
+	}{
+		{k: 0, e: 100, wantOK: false},
+		{k: 64, e: 32, wantOK: false}, // rate > 1
+		{k: 54, e: 108, wantOK: true},
+		{k: 104, e: 108, wantOK: true},
+		{k: 64, e: 1728, wantOK: true}, // heavy repetition (AL16)
+		{k: 600, e: 700, wantOK: false},
+	}
+	for _, c := range cases {
+		_, err := NewCode(c.k, c.e)
+		if (err == nil) != c.wantOK {
+			t.Errorf("NewCode(%d, %d): err = %v, wantOK = %v", c.k, c.e, err, c.wantOK)
+		}
+	}
+}
+
+func TestMotherLength(t *testing.T) {
+	cases := []struct{ k, e, want int }{
+		{54, 108, 128},
+		{54, 216, 256},
+		{54, 432, 512},
+		{54, 864, 512},  // capped at MaxN, repetition
+		{54, 1728, 512}, // AL16
+		{20, 24, 32},
+	}
+	for _, c := range cases {
+		if got := motherLength(c.k, c.e); got != c.want {
+			t.Errorf("motherLength(%d, %d) = %d, want %d", c.k, c.e, got, c.want)
+		}
+	}
+}
+
+func TestInfoPositionsAvoidPuncturedPrefix(t *testing.T) {
+	c, err := NewCode(54, 108) // N=128, punct=20
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.punct != 20 {
+		t.Fatalf("punct = %d, want 20", c.punct)
+	}
+	for _, p := range c.infoPos {
+		if p < c.punct {
+			t.Errorf("info position %d inside punctured prefix [0,%d)", p, c.punct)
+		}
+	}
+	if len(c.infoPos) != c.K {
+		t.Fatalf("infoPos count %d, want %d", len(c.infoPos), c.K)
+	}
+}
+
+func TestNoiselessRoundTripTypicalDCISizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// K = DCI payload (30..80 bits) + 24 CRC; E = AL * 108.
+	for _, k := range []int{54, 64, 84, 104} {
+		for _, al := range []int{1, 2, 4, 8, 16} {
+			e := al * 108
+			if k > e {
+				continue
+			}
+			c, err := NewCode(k, e)
+			if err != nil {
+				t.Fatalf("NewCode(%d, %d): %v", k, e, err)
+			}
+			for trial := 0; trial < 10; trial++ {
+				info := randomBits(rng, k)
+				coded := c.Encode(info)
+				if len(coded) != e {
+					t.Fatalf("coded length %d, want %d", len(coded), e)
+				}
+				got := c.Decode(bpskLLR(coded, 10))
+				for i := range info {
+					if got[i] != info[i] {
+						t.Fatalf("K=%d E=%d trial %d: bit %d wrong", k, e, trial, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNoiselessRoundTripProperty(t *testing.T) {
+	f := func(seed int64, kRaw, eRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 12 + int(kRaw%120)
+		e := k + int(eRaw%1700)
+		c, err := NewCode(k, e)
+		if err != nil {
+			return true // infeasible pair, skip
+		}
+		info := randomBits(rng, k)
+		got := c.Decode(bpskLLR(c.Encode(info), 5))
+		for i := range info {
+			if got[i] != info[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeCorrectsNoise(t *testing.T) {
+	// At moderate rate and reasonable Eb/N0 the SC decoder should fix
+	// most noisy codewords; at the same noise an uncoded slicer would
+	// almost surely fail somewhere in the block.
+	rng := rand.New(rand.NewSource(11))
+	c, err := NewCode(64, 432) // AL4-ish: rate ~0.15
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := 0.7 // Es/N0 ~ 3 dB
+	success := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		info := randomBits(rng, c.K)
+		coded := c.Encode(info)
+		llr := make([]float64, len(coded))
+		for i, b := range coded {
+			x := 1.0
+			if b == 1 {
+				x = -1.0
+			}
+			y := x + rng.NormFloat64()*sigma
+			llr[i] = 2 * y / (sigma * sigma)
+		}
+		got := c.Decode(llr)
+		ok := true
+		for i := range info {
+			if got[i] != info[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			success++
+		}
+	}
+	if success < trials*9/10 {
+		t.Errorf("SC decoder succeeded %d/%d at sigma=%.2f; want >= 90%%", success, trials, sigma)
+	}
+}
+
+func TestDecodeFailsAtExtremeNoise(t *testing.T) {
+	// Sanity: with pure-noise LLRs uncorrelated to the codeword the
+	// decoder should not reproduce the transmitted bits reliably.
+	rng := rand.New(rand.NewSource(13))
+	c, err := NewCode(64, 108)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := randomBits(rng, c.K)
+	llr := make([]float64, c.E)
+	for i := range llr {
+		llr[i] = rng.NormFloat64()
+	}
+	got := c.Decode(llr)
+	same := 0
+	for i := range info {
+		if got[i] == info[i] {
+			same++
+		}
+	}
+	if same == len(info) {
+		t.Error("decoder matched all bits from pure noise (suspicious)")
+	}
+}
+
+func TestEncodePanicsOnWrongLength(t *testing.T) {
+	c, err := NewCode(54, 108)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode with wrong length did not panic")
+		}
+	}()
+	c.Encode(make([]uint8, 10))
+}
+
+func TestDecodePanicsOnWrongLength(t *testing.T) {
+	c, err := NewCode(54, 108)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Decode with wrong length did not panic")
+		}
+	}()
+	c.Decode(make([]float64, 10))
+}
+
+func TestTransformInvolution(t *testing.T) {
+	// The polar transform is its own inverse (F^{⊗n} over GF(2)).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := randomBits(rng, 256)
+		v := append([]uint8(nil), u...)
+		transform(v)
+		transform(v)
+		for i := range u {
+			if u[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepetitionImprovesReliability(t *testing.T) {
+	// The same K at a larger E (higher AL) must not be less reliable.
+	rng := rand.New(rand.NewSource(17))
+	sigma := 1.1
+	errRate := func(e int) float64 {
+		c, err := NewCode(64, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fail := 0
+		const trials = 60
+		for trial := 0; trial < trials; trial++ {
+			info := randomBits(rng, c.K)
+			coded := c.Encode(info)
+			llr := make([]float64, len(coded))
+			for i, b := range coded {
+				x := 1.0
+				if b == 1 {
+					x = -1.0
+				}
+				llr[i] = 2 * (x + rng.NormFloat64()*sigma) / (sigma * sigma)
+			}
+			got := c.Decode(llr)
+			for i := range info {
+				if got[i] != info[i] {
+					fail++
+					break
+				}
+			}
+		}
+		return float64(fail) / trials
+	}
+	low := errRate(108)  // AL1
+	high := errRate(864) // AL8
+	if high > low+0.1 {
+		t.Errorf("AL8 block error rate %.2f worse than AL1 %.2f", high, low)
+	}
+	if math.IsNaN(low) || math.IsNaN(high) {
+		t.Fatal("NaN error rates")
+	}
+}
+
+func BenchmarkEncodeAL4(b *testing.B) {
+	c, err := NewCode(64, 432)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	info := randomBits(rng, c.K)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Encode(info)
+	}
+}
+
+func BenchmarkDecodeAL4(b *testing.B) {
+	c, err := NewCode(64, 432)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	info := randomBits(rng, c.K)
+	llr := bpskLLR(c.Encode(info), 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Decode(llr)
+	}
+}

@@ -1,0 +1,162 @@
+// Package pucch models the Physical Uplink Control Channel carrying
+// UCI — Uplink Control Information: scheduling requests, HARQ-ACK
+// feedback and CQI reports (paper Fig. 1). Decoding UCI is the paper's
+// §7 future-work item ("UCI in the uplink channel ... could be useful
+// for uplink data scheduling analysis"); this package plus the scope's
+// ProcessUplinkSlot implement it against the simulated uplink carrier.
+//
+// The format modelled is PUCCH-format-2-like: a UE-specific one-PRB,
+// four-symbol resource on the uplink grid, QPSK, convolutionally coded
+// UCI with a CRC-11, scrambled with the UE's RNTI so only trackers that
+// know the C-RNTI (the gNB, or NR-Scope after MSG 4) can read it.
+package pucch
+
+import (
+	"fmt"
+
+	"nrscope/internal/bits"
+	"nrscope/internal/convcode"
+	"nrscope/internal/modulation"
+	"nrscope/internal/phy"
+)
+
+// Resource geometry: one PRB over four OFDM symbols.
+const (
+	ResourceSymbols = 4
+	resourceREs     = ResourceSymbols * phy.SubcarriersPerPRB // 48
+	resourceBits    = resourceREs * 2                         // QPSK
+)
+
+// UCI is one uplink control report.
+type UCI struct {
+	SR     bool // scheduling request: "I have uplink data"
+	CQI    int  // channel quality indicator, 0..15
+	HasAck bool // an HARQ-ACK field is present
+	AckID  int  // HARQ process being acknowledged, 0..15
+	Ack    bool // true = ACK, false = NACK
+}
+
+// Validate checks field ranges.
+func (u UCI) Validate() error {
+	if u.CQI < 0 || u.CQI > 15 {
+		return fmt.Errorf("pucch: CQI %d", u.CQI)
+	}
+	if u.AckID < 0 || u.AckID > 15 {
+		return fmt.Errorf("pucch: ack harq id %d", u.AckID)
+	}
+	return nil
+}
+
+// payloadBits is the UCI field width (SR + CQI + HasAck + Ack + AckID).
+const payloadBits = 1 + 4 + 1 + 1 + 4
+
+// pack serialises the UCI fields.
+func (u UCI) pack() []uint8 {
+	w := bits.NewWriter(payloadBits)
+	w.WriteBool(u.SR)
+	w.WriteUint(uint64(u.CQI), 4)
+	w.WriteBool(u.HasAck)
+	w.WriteBool(u.Ack)
+	w.WriteUint(uint64(u.AckID), 4)
+	return w.Bits()
+}
+
+func unpack(b []uint8) UCI {
+	r := bits.NewReader(b)
+	var u UCI
+	u.SR = r.ReadBool()
+	u.CQI = int(r.ReadUint(4))
+	u.HasAck = r.ReadBool()
+	u.Ack = r.ReadBool()
+	u.AckID = int(r.ReadUint(4))
+	return u
+}
+
+// ResourcePRB returns the UE's PUCCH resource block. Real cells assign
+// resources via RRC; with the Setup identical across UEs (paper §3.1.2)
+// the assignment here is the deterministic hash both the gNB and a
+// passive observer can compute from the C-RNTI alone.
+func ResourcePRB(rnti uint16, carrierPRBs int) int {
+	return int(rnti) % carrierPRBs
+}
+
+// resourceREsFor enumerates the REs of a UE's PUCCH resource.
+func resourceREsFor(prb int) []phy.RE {
+	out := make([]phy.RE, 0, resourceREs)
+	for sym := 0; sym < ResourceSymbols; sym++ {
+		for off := 0; off < phy.SubcarriersPerPRB; off++ {
+			out = append(out, phy.RE{Symbol: sym, Subcarrier: prb*phy.SubcarriersPerPRB + off})
+		}
+	}
+	return out
+}
+
+// cinit derives the UCI scrambling sequence seed from the UE identity.
+func cinit(rnti, cellID uint16) uint32 {
+	return (uint32(rnti)<<14 ^ uint32(cellID) ^ 0x2BAD) & 0x7FFFFFFF
+}
+
+// Encode writes a UCI report onto the uplink grid at the UE's resource.
+func Encode(g *phy.Grid, u UCI, rnti, cellID uint16) error {
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	block := bits.AttachCRC(bits.CRC11, u.pack())
+	coded, err := convcode.EncodeAndMatch(block, resourceBits)
+	if err != nil {
+		return fmt.Errorf("pucch: %w", err)
+	}
+	bits.ScrambleInPlace(cinit(rnti, cellID), coded)
+	syms := modulation.Map(modulation.QPSK, coded)
+	prb := ResourcePRB(rnti, g.NumPRB)
+	for i, re := range resourceREsFor(prb) {
+		g.Set(re.Symbol, re.Subcarrier, syms[i])
+	}
+	return nil
+}
+
+// EnergyThreshold gates decoding: an empty resource (noise only) is
+// skipped without spending a Viterbi pass.
+const EnergyThreshold = 0.5
+
+// ResourceEnergy measures the mean RE energy of a UE's resource.
+func ResourceEnergy(g *phy.Grid, rnti uint16) float64 {
+	prb := ResourcePRB(rnti, g.NumPRB)
+	var e float64
+	for _, re := range resourceREsFor(prb) {
+		v := g.At(re.Symbol, re.Subcarrier)
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return e / resourceREs
+}
+
+// Decode attempts to read a UE's UCI from the uplink grid. ok is false
+// when the resource is empty or the CRC fails.
+func Decode(g *phy.Grid, rnti, cellID uint16, n0 float64) (UCI, bool) {
+	if ResourceEnergy(g, rnti) < EnergyThreshold {
+		return UCI{}, false
+	}
+	prb := ResourcePRB(rnti, g.NumPRB)
+	res := resourceREsFor(prb)
+	syms := make([]complex128, len(res))
+	for i, re := range res {
+		syms[i] = g.At(re.Symbol, re.Subcarrier)
+	}
+	llr := modulation.Demap(modulation.QPSK, syms, n0)
+	seq := bits.GoldSequence(cinit(rnti, cellID), len(llr))
+	for i := range llr {
+		if seq[i] == 1 {
+			llr[i] = -llr[i]
+		}
+	}
+	decoded := convcode.RecoverAndDecode(llr, payloadBits+11)
+	payload, ok := bits.CheckCRC(bits.CRC11, decoded)
+	if !ok {
+		return UCI{}, false
+	}
+	u := unpack(payload)
+	if u.Validate() != nil {
+		return UCI{}, false
+	}
+	return u, true
+}

@@ -1,0 +1,132 @@
+package pucch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nrscope/internal/channel"
+	"nrscope/internal/phy"
+)
+
+const cellID = 500
+
+func addNoise(g *phy.Grid, snrdB float64, rng *rand.Rand) float64 {
+	n0 := channel.SNRdBToN0(snrdB)
+	sigma := math.Sqrt(n0 / 2)
+	s := g.Samples()
+	for i := range s {
+		s[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return n0
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	f := func(rnti uint16, cqi, ackID uint8, sr, hasAck, ack bool) bool {
+		if rnti == 0 {
+			rnti = 1
+		}
+		u := UCI{SR: sr, CQI: int(cqi) % 16, HasAck: hasAck, Ack: ack, AckID: int(ackID) % 16}
+		g := phy.NewGrid(51)
+		if err := Encode(g, u, rnti, cellID); err != nil {
+			return false
+		}
+		got, ok := Decode(g, rnti, cellID, 1e-4)
+		return ok && got == u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeUnderNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ok := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		g := phy.NewGrid(51)
+		u := UCI{SR: true, CQI: 11, HasAck: true, Ack: i%2 == 0, AckID: i % 16}
+		if err := Encode(g, u, 0x4601, cellID); err != nil {
+			t.Fatal(err)
+		}
+		n0 := addNoise(g, 8, rng)
+		if got, pass := Decode(g, 0x4601, cellID, n0); pass && got == u {
+			ok++
+		}
+	}
+	if ok < trials*8/10 {
+		t.Errorf("decoded %d/%d at 8 dB", ok, trials)
+	}
+}
+
+func TestDecodeEmptyResourceSkipped(t *testing.T) {
+	g := phy.NewGrid(51)
+	if _, ok := Decode(g, 0x4601, cellID, 0.1); ok {
+		t.Error("empty resource decoded")
+	}
+	// Noise-only must be rejected too (energy gate or CRC).
+	rng := rand.New(rand.NewSource(2))
+	n0 := addNoise(g, 0, rng)
+	if _, ok := Decode(g, 0x4601, cellID, n0); ok {
+		t.Error("noise-only resource decoded")
+	}
+}
+
+func TestWrongRNTIFailsCRC(t *testing.T) {
+	g := phy.NewGrid(51)
+	if err := Encode(g, UCI{CQI: 9}, 0x4601, cellID); err != nil {
+		t.Fatal(err)
+	}
+	// An observer guessing a wrong RNTI that maps to the same PRB must
+	// fail the descramble+CRC, not misread the report.
+	other := uint16(0x4601 + 51) // same resource PRB
+	if ResourcePRB(other, 51) != ResourcePRB(0x4601, 51) {
+		t.Fatal("test setup: PRBs differ")
+	}
+	if _, ok := Decode(g, other, cellID, 1e-4); ok {
+		t.Error("wrong-RNTI decode passed")
+	}
+}
+
+func TestResourceSeparation(t *testing.T) {
+	// Two UEs on different PRBs coexist in one uplink slot.
+	g := phy.NewGrid(51)
+	a := UCI{SR: true, CQI: 3}
+	b := UCI{CQI: 14, HasAck: true, Ack: true, AckID: 5}
+	if err := Encode(g, a, 0x4601, cellID); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(g, b, 0x4602, cellID); err != nil {
+		t.Fatal(err)
+	}
+	gotA, okA := Decode(g, 0x4601, cellID, 1e-4)
+	gotB, okB := Decode(g, 0x4602, cellID, 1e-4)
+	if !okA || gotA != a {
+		t.Errorf("UE A: %+v ok=%v", gotA, okA)
+	}
+	if !okB || gotB != b {
+		t.Errorf("UE B: %+v ok=%v", gotB, okB)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := phy.NewGrid(51)
+	if err := Encode(g, UCI{CQI: 99}, 1, cellID); err == nil {
+		t.Error("CQI 99 accepted")
+	}
+	if err := Encode(g, UCI{AckID: -1}, 1, cellID); err == nil {
+		t.Error("negative ack id accepted")
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	g := phy.NewGrid(51)
+	if err := Encode(g, UCI{SR: true, CQI: 11}, 0x4601, cellID); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Decode(g, 0x4601, cellID, 0.05)
+	}
+}

@@ -1,0 +1,12 @@
+package ran
+
+import (
+	"nrscope/internal/pdsch"
+	"nrscope/internal/phy"
+)
+
+// pdschDecode wraps pdsch.DecodePBCH with a near-noiseless N0 for
+// clean-grid assertions.
+func pdschDecode(g *phy.Grid, cellID uint16) ([]byte, bool) {
+	return pdsch.DecodePBCH(g, cellID, 1e-4)
+}

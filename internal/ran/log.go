@@ -1,0 +1,96 @@
+package ran
+
+import (
+	"fmt"
+
+	"nrscope/internal/dci"
+	"nrscope/internal/phy"
+	"nrscope/internal/pucch"
+)
+
+// GTRecord is one ground-truth log entry — the information srsRAN's gNB
+// log provided the paper's §5.2.1 evaluation: TTI index, DCI content and
+// the translated grant.
+type GTRecord struct {
+	Slot     phy.SlotRef
+	SlotIdx  int // absolute TTI index
+	RNTI     uint16
+	Grant    dci.Grant
+	AggLevel int
+	StartCCE int
+	IsRetx   bool
+	// DeliveredBytes is the MAC SDU payload the UE actually received in
+	// this transmission (zero when the HARQ attempt failed or for
+	// retransmission padding).
+	DeliveredBytes int
+	// Common marks broadcast/RACH DCIs (SI-RNTI, RA-RNTI, TC-RNTI MSG4).
+	Common bool
+	// MSG4 marks the RRC Setup scheduling DCI.
+	MSG4 bool
+}
+
+// String renders the record in the srsRAN-log style.
+func (r GTRecord) String() string {
+	kind := "data"
+	if r.MSG4 {
+		kind = "msg4"
+	} else if r.Common {
+		kind = "common"
+	}
+	return fmt.Sprintf("tti=%v %s L=%d cce=%d retx=%v %v", r.Slot, kind, r.AggLevel, r.StartCCE, r.IsRetx, r.Grant)
+}
+
+// EventKind classifies population events.
+type EventKind int
+
+// Population events.
+const (
+	EventArrived EventKind = iota
+	EventConnected
+	EventDeparted
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventArrived:
+		return "arrived"
+	case EventConnected:
+		return "connected"
+	case EventDeparted:
+		return "departed"
+	default:
+		return "?"
+	}
+}
+
+// Event is a UE lifecycle notification in the slot output.
+type Event struct {
+	Kind EventKind
+	RNTI uint16
+	Slot phy.SlotRef
+}
+
+// UCIGT is the ground truth of one uplink control report a UE sent.
+type UCIGT struct {
+	Slot    phy.SlotRef
+	SlotIdx int
+	RNTI    uint16
+	UCI     pucch.UCI
+}
+
+// SlotOutput is everything one TTI produced: the clean transmit grid
+// (the radio adds the scope's channel impairments), the ground-truth
+// records, and lifecycle events.
+type SlotOutput struct {
+	Ref     phy.SlotRef
+	SlotIdx int
+	// Grid is nil in pure-uplink slots (nothing on the downlink carrier).
+	Grid *phy.Grid
+	// ULGrid is the uplink carrier's grid (PUCCH/UCI); nil in slots
+	// where no UE transmits control. Same double-buffer lifetime as Grid.
+	ULGrid *phy.Grid
+	GT     []GTRecord
+	UCIGT  []UCIGT
+	Events []Event
+}

@@ -1,0 +1,324 @@
+package rrc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nrscope/internal/mcs"
+	"nrscope/internal/phy"
+)
+
+func sampleMIB() MIB {
+	return MIB{
+		SFN:              512,
+		Mu:               phy.Mu1,
+		CellID:           500,
+		Coreset0StartPRB: 0,
+		Coreset0NumPRB:   48,
+		Coreset0Duration: 1,
+		CellBarred:       false,
+	}
+}
+
+func sampleSIB1() SIB1 {
+	return SIB1{
+		CellID:           500,
+		CarrierPRBs:      51,
+		TDD:              phy.MustTDDPattern("DDDSU"),
+		CommonCandidates: phy.DefaultCommonCandidates(),
+		RACHPeriodSlots:  20,
+		SIB1PeriodSlots:  40,
+		TimeAllocRows:    8,
+	}
+}
+
+func sampleSetup() Setup {
+	return Setup{
+		CORESET:      phy.CORESET{ID: 1, StartPRB: 0, NumPRB: 48, Duration: 1, StartSym: 0},
+		UECandidates: phy.DefaultUECandidates(),
+		NonFallback:  true,
+		DMRSPerPRB:   12,
+		XOverhead:    0,
+		MaxLayers:    2,
+		MCSTable:     mcs.TableQAM256,
+	}
+}
+
+func TestMIBRoundTrip(t *testing.T) {
+	m := sampleMIB()
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMIB(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Errorf("MIB round trip:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestMIBRoundTripProperty(t *testing.T) {
+	f := func(sfn uint16, cellID uint16, start, num uint8, barred bool) bool {
+		m := MIB{
+			SFN:              int(sfn) % phy.MaxSFN,
+			Mu:               phy.Mu1,
+			CellID:           cellID,
+			Coreset0StartPRB: int(start) % 100,
+			Coreset0NumPRB:   (1 + int(num)%20) * 6, // multiples of 6
+			Coreset0Duration: 1,
+			CellBarred:       barred,
+		}
+		data, err := m.Encode()
+		if err != nil {
+			return true // invalid combination, skip
+		}
+		got, err := DecodeMIB(data)
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMIBValidation(t *testing.T) {
+	m := sampleMIB()
+	m.SFN = phy.MaxSFN
+	if _, err := m.Encode(); err == nil {
+		t.Error("out-of-range SFN accepted")
+	}
+	m = sampleMIB()
+	m.Coreset0NumPRB = 7 // not a CCE multiple
+	if _, err := m.Encode(); err == nil {
+		t.Error("bad CORESET0 accepted")
+	}
+	if _, err := DecodeMIB([]byte{1, 2}); err == nil {
+		t.Error("short MIB accepted")
+	}
+}
+
+func TestSIB1RoundTrip(t *testing.T) {
+	s := sampleSIB1()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSIB1(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CellID != s.CellID || got.CarrierPRBs != s.CarrierPRBs ||
+		got.TDD.String() != s.TDD.String() ||
+		got.RACHPeriodSlots != s.RACHPeriodSlots ||
+		got.SIB1PeriodSlots != s.SIB1PeriodSlots ||
+		got.TimeAllocRows != s.TimeAllocRows {
+		t.Errorf("SIB1 round trip:\n got %+v\nwant %+v", got, s)
+	}
+	for _, al := range phy.AggregationLevels {
+		if got.CommonCandidates[al] != s.CommonCandidates[al] {
+			t.Errorf("AL%d candidates: got %d want %d", al, got.CommonCandidates[al], s.CommonCandidates[al])
+		}
+	}
+}
+
+func TestSIB1FDDPattern(t *testing.T) {
+	s := sampleSIB1()
+	s.TDD = phy.FDD()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSIB1(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TDD.String() != "D" {
+		t.Errorf("FDD pattern round trip = %q", got.TDD.String())
+	}
+}
+
+func TestSIB1Validation(t *testing.T) {
+	s := sampleSIB1()
+	s.CarrierPRBs = 0
+	if _, err := s.Encode(); err == nil {
+		t.Error("zero-width carrier accepted")
+	}
+	s = sampleSIB1()
+	s.CommonCandidates = map[int]int{3: 1} // AL 3 does not exist
+	if _, err := s.Encode(); err == nil {
+		t.Error("bogus aggregation level accepted")
+	}
+	s = sampleSIB1()
+	s.RACHPeriodSlots = 0
+	if _, err := s.Encode(); err == nil {
+		t.Error("zero RACH period accepted")
+	}
+}
+
+func TestSIB1DecodeCorrupted(t *testing.T) {
+	s := sampleSIB1()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncated input must error, not panic.
+	if _, err := DecodeSIB1(data[:2]); err == nil {
+		t.Error("truncated SIB1 accepted")
+	}
+}
+
+func TestRARRoundTrip(t *testing.T) {
+	f := func(rnti uint16, ta uint16, delta uint8) bool {
+		r := RAR{
+			TCRNTI:        1 + rnti%0xFFEF,
+			TimingAdvance: int(ta) % 4096,
+			MSG3SlotDelta: 1 + int(delta)%64,
+		}
+		data, err := r.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRAR(data)
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRARValidation(t *testing.T) {
+	r := RAR{TCRNTI: 0, TimingAdvance: 0, MSG3SlotDelta: 4}
+	if _, err := r.Encode(); err == nil {
+		t.Error("TC-RNTI 0 accepted")
+	}
+	if _, err := DecodeRAR([]byte{1}); err == nil {
+		t.Error("short RAR accepted")
+	}
+}
+
+func TestSetupRoundTrip(t *testing.T) {
+	s := sampleSetup()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSetup(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CORESET != s.CORESET || got.NonFallback != s.NonFallback ||
+		got.DMRSPerPRB != s.DMRSPerPRB || got.XOverhead != s.XOverhead ||
+		got.MaxLayers != s.MaxLayers || got.MCSTable != s.MCSTable {
+		t.Errorf("Setup round trip:\n got %+v\nwant %+v", got, s)
+	}
+	for _, al := range phy.AggregationLevels {
+		if got.UECandidates[al] != s.UECandidates[al] {
+			t.Errorf("AL%d: got %d want %d", al, got.UECandidates[al], s.UECandidates[al])
+		}
+	}
+}
+
+func TestSetupRoundTripProperty(t *testing.T) {
+	f := func(dmrs uint8, oh uint8, layers uint8, table bool, nonFallback bool) bool {
+		s := sampleSetup()
+		s.DMRSPerPRB = int(dmrs) % 37
+		s.XOverhead = (int(oh) % 4) * 6
+		s.MaxLayers = 1 + int(layers)%4
+		s.NonFallback = nonFallback
+		if table {
+			s.MCSTable = mcs.TableQAM256
+		} else {
+			s.MCSTable = mcs.TableQAM64
+		}
+		data, err := s.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeSetup(data)
+		return err == nil &&
+			got.DMRSPerPRB == s.DMRSPerPRB && got.XOverhead == s.XOverhead &&
+			got.MaxLayers == s.MaxLayers && got.MCSTable == s.MCSTable &&
+			got.NonFallback == s.NonFallback
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetupLinkConfig(t *testing.T) {
+	s := sampleSetup()
+	lc := s.LinkConfig()
+	if lc.DMRSPerPRB != 12 || lc.Layers != 2 || lc.Table != mcs.TableQAM256 || lc.Overhead != 0 {
+		t.Errorf("LinkConfig = %+v", lc)
+	}
+}
+
+func TestSetupValidation(t *testing.T) {
+	s := sampleSetup()
+	s.XOverhead = 5
+	if _, err := s.Encode(); err == nil {
+		t.Error("xOverhead 5 accepted")
+	}
+	s = sampleSetup()
+	s.MaxLayers = 9
+	if _, err := s.Encode(); err == nil {
+		t.Error("9 layers accepted")
+	}
+	s = sampleSetup()
+	s.UECandidates = nil
+	if _, err := s.Encode(); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, err := DecodeSetup([]byte{0}); err == nil {
+		t.Error("short Setup accepted")
+	}
+}
+
+// TestDecodersNeverPanicOnGarbage feeds random byte strings to every
+// decoder: corrupted PDSCH payloads that slip past the CRC (1 in 2^24)
+// must be rejected by validation, never crash the pipeline.
+func TestDecodersNeverPanicOnGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		// Any of these may error; none may panic.
+		_, _ = DecodeMIB(data)
+		_, _ = DecodeSIB1(data)
+		_, _ = DecodeRAR(data)
+		_, _ = DecodeSetup(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodersRejectBitFlips flips single bits in valid encodings: the
+// decoders must either reject or produce a still-valid message (they
+// sit behind a CRC in the real chain, but defence in depth matters).
+func TestDecodersRejectBitFlips(t *testing.T) {
+	data, err := sampleSIB1().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(data)*8; i++ {
+		mut := append([]byte(nil), data...)
+		mut[i/8] ^= 1 << uint(i%8)
+		if s, err := DecodeSIB1(mut); err == nil {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("bit flip %d produced invalid-but-accepted SIB1: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestSetupSizeFitsMSG4Budget(t *testing.T) {
+	// Paper §3.1.2: an RRC Setup PDSCH payload is up to 500 bytes; our
+	// compact encoding must comfortably fit.
+	data, err := sampleSetup().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 500 {
+		t.Errorf("Setup is %d bytes, exceeds the 500-byte MSG4 budget", len(data))
+	}
+}

@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nrscope/internal/dci"
+	"nrscope/internal/phy"
+)
+
+func region51() Region {
+	return Region{StartPRB: 0, NumPRB: 51, TimeRow: 0, Link: dci.DefaultLinkConfig()}
+}
+
+func TestTimeRowSymbolsMatchesPhyTable(t *testing.T) {
+	for row, ta := range phy.DefaultTimeAllocTable {
+		if got := timeRowSymbols(row); got != ta.NumSymbols {
+			t.Errorf("row %d: %d symbols, phy table has %d", row, got, ta.NumSymbols)
+		}
+	}
+}
+
+func TestSizeAllocationCoversQueue(t *testing.T) {
+	link := dci.DefaultLinkConfig()
+	for _, want := range []int{100, 5000, 50000} {
+		nprb, tbs := sizeAllocation(want, 15, 51, 0, link)
+		if nprb < 1 || nprb > 51 {
+			t.Fatalf("want %d bits: nprb = %d", want, nprb)
+		}
+		if tbs < want && nprb < 51 {
+			t.Errorf("want %d bits: tbs %d with %d PRBs does not cover queue", want, tbs, nprb)
+		}
+		// Minimality: one fewer PRB must not cover.
+		if nprb > 1 {
+			_, smaller := sizeAllocation(want, 15, nprb-1, 0, link)
+			if smaller >= want && tbs >= want {
+				t.Errorf("want %d bits: %d PRBs not minimal", want, nprb)
+			}
+		}
+	}
+}
+
+func TestSizeAllocationEmptyRegion(t *testing.T) {
+	if nprb, _ := sizeAllocation(100, 10, 0, 0, dci.DefaultLinkConfig()); nprb != 0 {
+		t.Errorf("nprb = %d on empty region", nprb)
+	}
+}
+
+func TestRoundRobinBasicAllocation(t *testing.T) {
+	s := NewRoundRobin()
+	reqs := []Request{
+		{RNTI: 1, QueueBits: 10000, CQI: 12},
+		{RNTI: 2, QueueBits: 10000, CQI: 12},
+	}
+	allocs := s.Schedule(0, reqs, region51())
+	if len(allocs) != 2 {
+		t.Fatalf("%d allocations, want 2", len(allocs))
+	}
+	if err := Validate(allocs, region51()); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range allocs {
+		if a.TBS < 10000 {
+			t.Errorf("rnti %d: TBS %d does not cover queue", a.RNTI, a.TBS)
+		}
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	s := NewRoundRobin()
+	// Queue so large one UE eats the whole band.
+	reqs := []Request{
+		{RNTI: 1, QueueBits: 1 << 20, CQI: 10},
+		{RNTI: 2, QueueBits: 1 << 20, CQI: 10},
+	}
+	firstServed := make(map[uint16]int)
+	for slot := 0; slot < 10; slot++ {
+		allocs := s.Schedule(slot, reqs, region51())
+		if len(allocs) == 0 {
+			t.Fatal("no allocations")
+		}
+		firstServed[allocs[0].RNTI]++
+	}
+	if firstServed[1] == 0 || firstServed[2] == 0 {
+		t.Errorf("round robin never rotated: %v", firstServed)
+	}
+}
+
+func TestRetransmissionsServedFirst(t *testing.T) {
+	s := NewRoundRobin()
+	reqs := []Request{{
+		RNTI:      7,
+		QueueBits: 1000,
+		CQI:       10,
+		Retx:      []RetxRequest{{HARQID: 3, TBS: 4000, NDI: 1, MCS: 9, NPRB: 5}},
+	}}
+	allocs := s.Schedule(0, reqs, region51())
+	if len(allocs) != 2 {
+		t.Fatalf("%d allocations, want 2 (retx + new)", len(allocs))
+	}
+	if !allocs[0].IsRetx || allocs[0].HARQID != 3 || allocs[0].TBS != 4000 || allocs[0].NDI != 1 {
+		t.Errorf("first allocation not the retransmission: %+v", allocs[0])
+	}
+	if allocs[1].IsRetx {
+		t.Error("second allocation should be new data")
+	}
+}
+
+func TestRegionExhaustion(t *testing.T) {
+	s := NewRoundRobin()
+	var reqs []Request
+	for i := 0; i < 30; i++ {
+		reqs = append(reqs, Request{RNTI: uint16(i + 1), QueueBits: 1 << 20, CQI: 8})
+	}
+	region := region51()
+	allocs := s.Schedule(0, reqs, region)
+	if err := Validate(allocs, region); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, a := range allocs {
+		total += a.NumPRB
+	}
+	if total > region.NumPRB {
+		t.Errorf("allocated %d PRBs in a %d-PRB region", total, region.NumPRB)
+	}
+	if total < region.NumPRB {
+		t.Errorf("backlogged UEs but %d PRBs left idle", region.NumPRB-total)
+	}
+}
+
+func TestLowCQIGetsLowMCS(t *testing.T) {
+	s := NewRoundRobin()
+	good := s.Schedule(0, []Request{{RNTI: 1, QueueBits: 20000, CQI: 15}}, region51())
+	bad := s.Schedule(1, []Request{{RNTI: 1, QueueBits: 20000, CQI: 2}}, region51())
+	if len(good) != 1 || len(bad) != 1 {
+		t.Fatal("expected one allocation each")
+	}
+	if bad[0].MCS >= good[0].MCS {
+		t.Errorf("CQI 2 MCS %d not below CQI 15 MCS %d", bad[0].MCS, good[0].MCS)
+	}
+	if bad[0].NumPRB <= good[0].NumPRB {
+		t.Errorf("low CQI should need more PRBs: %d vs %d", bad[0].NumPRB, good[0].NumPRB)
+	}
+}
+
+func TestProportionalFairFavoursStarvedUE(t *testing.T) {
+	p := NewProportionalFair()
+	// UE 1 has been served heavily; UE 2 not at all.
+	p.avg[1] = 1e6
+	p.avg[2] = 1
+	reqs := []Request{
+		{RNTI: 1, QueueBits: 1 << 20, CQI: 10},
+		{RNTI: 2, QueueBits: 1 << 20, CQI: 10},
+	}
+	allocs := p.Schedule(0, reqs, region51())
+	if len(allocs) == 0 {
+		t.Fatal("no allocations")
+	}
+	if allocs[0].RNTI != 2 {
+		t.Errorf("starved UE not served first: %+v", allocs[0])
+	}
+}
+
+func TestProportionalFairLongRunFairness(t *testing.T) {
+	p := NewProportionalFair()
+	reqs := []Request{
+		{RNTI: 1, QueueBits: 1 << 20, CQI: 10},
+		{RNTI: 2, QueueBits: 1 << 20, CQI: 10},
+	}
+	served := map[uint16]int{}
+	for slot := 0; slot < 200; slot++ {
+		for _, a := range p.Schedule(slot, reqs, region51()) {
+			served[a.RNTI] += a.TBS
+		}
+	}
+	if served[1] == 0 || served[2] == 0 {
+		t.Fatalf("a UE starved: %v", served)
+	}
+	ratio := float64(served[1]) / float64(served[2])
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("equal-CQI PF ratio %.2f, want near 1", ratio)
+	}
+}
+
+func TestProportionalFairForget(t *testing.T) {
+	p := NewProportionalFair()
+	p.Schedule(0, []Request{{RNTI: 9, QueueBits: 100, CQI: 10}}, region51())
+	if _, ok := p.avg[9]; !ok {
+		t.Fatal("PF state not created")
+	}
+	p.Forget(9)
+	if _, ok := p.avg[9]; ok {
+		t.Error("PF state not dropped")
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	region := region51()
+	bad := []Allocation{
+		{RNTI: 1, StartPRB: 0, NumPRB: 10},
+		{RNTI: 2, StartPRB: 5, NumPRB: 10},
+	}
+	if err := Validate(bad, region); err == nil {
+		t.Error("overlap not caught")
+	}
+	outside := []Allocation{{RNTI: 1, StartPRB: 45, NumPRB: 10}}
+	if err := Validate(outside, region); err == nil {
+		t.Error("out-of-region not caught")
+	}
+	empty := []Allocation{{RNTI: 1, StartPRB: 0, NumPRB: 0}}
+	if err := Validate(empty, region); err == nil {
+		t.Error("empty allocation not caught")
+	}
+}
+
+func TestSchedulersNeverOverlapProperty(t *testing.T) {
+	f := func(seed int64, nUEs uint8, queues [8]uint32, cqis [8]uint8) bool {
+		n := 1 + int(nUEs)%8
+		var reqs []Request
+		for i := 0; i < n; i++ {
+			reqs = append(reqs, Request{
+				RNTI:      uint16(i + 1),
+				QueueBits: int(queues[i] % 200000),
+				CQI:       int(cqis[i]) % 16,
+			})
+		}
+		region := region51()
+		for _, s := range []Scheduler{NewRoundRobin(), NewProportionalFair()} {
+			for slot := 0; slot < 5; slot++ {
+				if Validate(s.Schedule(slot, reqs, region), region) != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRoundRobin16UEs(b *testing.B) {
+	s := NewRoundRobin()
+	var reqs []Request
+	for i := 0; i < 16; i++ {
+		reqs = append(reqs, Request{RNTI: uint16(i + 1), QueueBits: 30000, CQI: 10})
+	}
+	region := region51()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(i, reqs, region)
+	}
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Writer streams records as JSON lines — the "log file" sink of the
+// paper's Fig. 4 pipeline.
+type Writer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w in a buffered JSONL telemetry writer.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one record. Safe for concurrent use.
+func (w *Writer) Write(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enc.Encode(rec); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Count reports how many records were written.
+func (w *Writer) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Flush drains the buffer to the underlying writer.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bw.Flush()
+}
+
+// ReadAll parses a JSONL telemetry stream back into records.
+func ReadAll(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("telemetry: %w", err)
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Server streams telemetry records to TCP subscribers as JSON lines —
+// the paper's §6 feedback path: NR-Scope runs as a service and pushes
+// RAN capacity to application servers faster than half an RTT, without
+// involving the (bottleneck) RAN.
+type Server struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	subs   map[net.Conn]*bufio.Writer
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	s := &Server{ln: ln, subs: make(map[net.Conn]*bufio.Writer)}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.subs[conn] = bufio.NewWriter(conn)
+		s.mu.Unlock()
+	}
+}
+
+// Publish sends a record to every subscriber, dropping subscribers whose
+// connections fail (slow consumers do not stall the pipeline).
+func (s *Server) Publish(rec Record) {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn, bw := range s.subs {
+		if _, err := bw.Write(data); err != nil {
+			_ = conn.Close()
+			delete(s.subs, conn)
+			continue
+		}
+		if err := bw.Flush(); err != nil {
+			_ = conn.Close()
+			delete(s.subs, conn)
+		}
+	}
+}
+
+// Subscribers reports the current subscriber count.
+func (s *Server) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// Close stops the server and disconnects subscribers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.subs {
+		_ = conn.Close()
+	}
+	s.subs = map[net.Conn]*bufio.Writer{}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client subscribes to a telemetry server and decodes its stream.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+}
+
+// Dial connects to a telemetry server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return &Client{conn: conn, dec: json.NewDecoder(bufio.NewReader(conn))}, nil
+}
+
+// Next blocks for the next record.
+func (c *Client) Next() (Record, error) {
+	var rec Record
+	if err := c.dec.Decode(&rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// Close disconnects.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,217 @@
+// Package telemetry defines NR-Scope's output: per-DCI records, the
+// sliding-window throughput estimator of §3.2.2, the fair-share spare
+// capacity computation of §5.4.1, a JSONL log writer (the paper's log
+// file in Fig. 4), and a TCP streaming service so application servers
+// can consume the feed in real time (§6, congestion control use case).
+package telemetry
+
+import (
+	"fmt"
+	"time"
+
+	"nrscope/internal/dci"
+	"nrscope/internal/mcs"
+	"nrscope/internal/phy"
+)
+
+// Record is one decoded DCI's telemetry — the row NR-Scope writes per
+// transmission it observes.
+type Record struct {
+	SlotIdx  int         `json:"slot_idx"`
+	SFN      int         `json:"sfn"`
+	Slot     int         `json:"slot"`
+	RNTI     uint16      `json:"rnti"`
+	Downlink bool        `json:"downlink"`
+	Format   string      `json:"dci"`
+	TBS      int         `json:"tbs"`
+	NumPRB   int         `json:"nof_prb"`
+	REGs     int         `json:"nof_reg"`
+	NRE      int         `json:"nof_re"`
+	MCS      int         `json:"mcs"`
+	Qm       int         `json:"qm"`
+	R        float64     `json:"code_rate"`
+	AggLevel int         `json:"agg_level"`
+	StartCCE int         `json:"cce"`
+	HARQID   int         `json:"harq_id"`
+	NDI      uint8       `json:"ndi"`
+	RV       int         `json:"rv"`
+	IsRetx   bool        `json:"retx"`
+	NewUE    bool        `json:"new_ue,omitempty"`
+	Common   bool        `json:"common,omitempty"`
+	Ref      phy.SlotRef `json:"-"`
+}
+
+// String renders the record in the srsRAN-log style of the paper's
+// Appendix B DCI sample.
+func (r Record) String() string {
+	dir := "ul"
+	if r.Downlink {
+		dir = "dl"
+	}
+	return fmt.Sprintf("tti=%d.%d rnti=0x%04x dci=%s %s L=%d cce=%d f_alloc=%d_prb t_alloc=%d_reg mcs=%d ndi=%d rv=%d harq_id=%d tbs=%d retx=%v",
+		r.SFN, r.Slot, r.RNTI, r.Format, dir, r.AggLevel, r.StartCCE, r.NumPRB, r.REGs, r.MCS, r.NDI, r.RV, r.HARQID, r.TBS, r.IsRetx)
+}
+
+// FromGrant builds a record from a translated grant.
+func FromGrant(slotIdx int, ref phy.SlotRef, g dci.Grant, isRetx bool) Record {
+	return Record{
+		SlotIdx:  slotIdx,
+		SFN:      ref.SFN,
+		Slot:     ref.Slot,
+		RNTI:     g.RNTI,
+		Downlink: g.Downlink,
+		Format:   g.Format.String(),
+		TBS:      g.TBS,
+		NumPRB:   g.NumPRB,
+		REGs:     g.REGCount(),
+		NRE:      g.NRE,
+		MCS:      g.MCSIndex,
+		Qm:       g.Qm,
+		R:        g.R,
+		HARQID:   g.HARQID,
+		NDI:      g.NDI,
+		RV:       g.RV,
+		IsRetx:   isRetx,
+		Ref:      ref,
+	}
+}
+
+// WindowEstimator maintains per-UE sliding-window bitrates from TBS
+// records (paper §3.2.2: "we record the TBS for every UE in each TTI,
+// maintaining a sliding window to calculate the bit rate").
+type WindowEstimator struct {
+	tti         time.Duration
+	windowSlots int
+	flows       map[flowKey]*flowWindow
+}
+
+type flowKey struct {
+	rnti     uint16
+	downlink bool
+}
+
+type flowWindow struct {
+	slots []int64 // ring buffer of bits per slot
+	last  int     // last slot index written
+	total int64
+}
+
+// NewWindowEstimator creates an estimator with the given window length.
+func NewWindowEstimator(window time.Duration, tti time.Duration) *WindowEstimator {
+	n := int(window / tti)
+	if n < 1 {
+		n = 1
+	}
+	return &WindowEstimator{tti: tti, windowSlots: n, flows: make(map[flowKey]*flowWindow)}
+}
+
+// WindowSlots returns the window length in TTIs.
+func (w *WindowEstimator) WindowSlots() int { return w.windowSlots }
+
+// Add feeds one record. Retransmissions do not add throughput (the
+// same bits were counted at their first transmission).
+func (w *WindowEstimator) Add(rec Record) {
+	if rec.IsRetx {
+		return
+	}
+	k := flowKey{rec.RNTI, rec.Downlink}
+	f := w.flows[k]
+	if f == nil {
+		f = &flowWindow{slots: make([]int64, w.windowSlots)}
+		w.flows[k] = f
+	}
+	f.advance(rec.SlotIdx, w.windowSlots)
+	f.slots[rec.SlotIdx%w.windowSlots] += int64(rec.TBS)
+	f.total += int64(rec.TBS)
+}
+
+// advance zeroes ring entries between the last write and now.
+func (f *flowWindow) advance(slotIdx, n int) {
+	if slotIdx <= f.last {
+		return
+	}
+	steps := slotIdx - f.last
+	if steps > n {
+		steps = n
+	}
+	for i := 1; i <= steps; i++ {
+		pos := (f.last + i) % n
+		f.total -= f.slots[pos]
+		f.slots[pos] = 0
+	}
+	f.last = slotIdx
+}
+
+// Bitrate returns the flow's current windowed bitrate in bits/second,
+// evaluated at nowSlot.
+func (w *WindowEstimator) Bitrate(rnti uint16, downlink bool, nowSlot int) float64 {
+	f := w.flows[flowKey{rnti, downlink}]
+	if f == nil {
+		return 0
+	}
+	f.advance(nowSlot, w.windowSlots)
+	return float64(f.total) / (float64(w.windowSlots) * w.tti.Seconds())
+}
+
+// Flows lists the tracked (rnti, downlink) pairs.
+func (w *WindowEstimator) Flows() []struct {
+	RNTI     uint16
+	Downlink bool
+} {
+	out := make([]struct {
+		RNTI     uint16
+		Downlink bool
+	}, 0, len(w.flows))
+	for k := range w.flows {
+		out = append(out, struct {
+			RNTI     uint16
+			Downlink bool
+		}{k.rnti, k.downlink})
+	}
+	return out
+}
+
+// SpareCapacity implements the paper's §5.4.1 fair-share estimate: the
+// REs the cell left unused in a TTI are split evenly across the active
+// UEs and re-rated at each UE's own modulation and coding rate, giving
+// a per-UE spare bitrate (Fig. 14).
+type SpareCapacity struct {
+	// TotalREs is the data-region RE budget of the TTI.
+	TotalREs int
+	// UsedREs is the sum of allocated effective REs.
+	UsedREs int
+	// PerUE maps each active UE to its fair share of spare bits in the
+	// TTI (already scaled by its MCS).
+	PerUE map[uint16]float64
+	// SharePRBs is the spare REs each UE was assigned (equal shares).
+	ShareREs int
+}
+
+// ComputeSpare runs the fair-share split for one TTI. entries maps each
+// active UE to its current MCS entry and layer count.
+type UELinkState struct {
+	Entry  mcs.Entry
+	Layers int
+}
+
+// ComputeSpare splits (totalREs - usedREs) evenly and rates each share.
+func ComputeSpare(totalREs, usedREs int, ues map[uint16]UELinkState) SpareCapacity {
+	sc := SpareCapacity{TotalREs: totalREs, UsedREs: usedREs, PerUE: make(map[uint16]float64, len(ues))}
+	spare := totalREs - usedREs
+	if spare < 0 {
+		spare = 0
+	}
+	if len(ues) == 0 {
+		return sc
+	}
+	share := spare / len(ues)
+	sc.ShareREs = share
+	for rnti, st := range ues {
+		layers := st.Layers
+		if layers < 1 {
+			layers = 1
+		}
+		sc.PerUE[rnti] = mcs.SpareCapacityBits(share, st.Entry, layers)
+	}
+	return sc
+}
