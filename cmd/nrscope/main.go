@@ -10,6 +10,7 @@
 //	        -log telemetry.jsonl -stream 127.0.0.1:9900
 //	nrscope -record capture.nrsc -duration 10s     # save the air capture
 //	nrscope -replay capture.nrsc -log t.jsonl      # post-process offline
+//	nrscope -metrics 127.0.0.1:9090 ...            # Prometheus + pprof endpoint
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"nrscope"
 	"nrscope/internal/capfile"
+	"nrscope/internal/obs"
 	"nrscope/internal/telemetry"
 )
 
@@ -37,8 +39,19 @@ func main() {
 		noVerify = flag.Bool("skip-msg4-verify", false, "skip RRC Setup PDSCH verification of new UEs (paper's shortcut)")
 		record   = flag.String("record", "", "save the raw capture stream to this file")
 		replay   = flag.String("replay", "", "process a recorded capture file instead of live slots")
+		metrics  = flag.String("metrics", "", "serve Prometheus /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		obs.PublishExpvar()
+		srv, err := obs.Serve(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "nrscope: observability on http://%s/metrics\n", srv.Addr())
+	}
 
 	opts := []nrscope.Option{nrscope.WithDCIThreads(*threads)}
 	if *noVerify {

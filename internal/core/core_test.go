@@ -230,6 +230,9 @@ func TestMissRateIncreasesWithNoise(t *testing.T) {
 }
 
 func TestRetransmissionDetectionMatchesGT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy HARQ session; skipped in -short (race CI)")
+	}
 	cfg := amari()
 	cfg.BaseSNRdB = 14 // fading channel below triggers HARQ
 	tb := newTestbed(t, cfg, 25)
@@ -395,6 +398,9 @@ func TestSpareCapacityReported(t *testing.T) {
 }
 
 func TestDCIThreadsEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thread sweep; skipped in -short (race CI)")
+	}
 	results := func(threads int) map[int]int {
 		cfg := amari()
 		tb := newTestbed(t, cfg, 25, WithDCIThreads(threads))
@@ -610,6 +616,9 @@ func TestManualCellInfoSkipsAcquisition(t *testing.T) {
 }
 
 func TestProcessingTimeGrowsWithUEs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive scaling test; skipped in -short (race CI)")
+	}
 	elapsed := func(ues int) time.Duration {
 		cfg := amari()
 		tb := newTestbed(t, cfg, 25)

@@ -74,7 +74,11 @@ const raRNTILookback = 5
 func (s *Scope) decodeSlot(snap *snapshot, cap *radio.Capture) *decodeResult {
 	start := time.Now()
 	res := &decodeResult{slotIdx: cap.SlotIdx, ref: cap.Ref}
-	defer func() { res.elapsed = time.Since(start) }()
+	met.slots.Inc()
+	defer func() {
+		res.elapsed = time.Since(start)
+		met.decodeLatency.Observe(res.elapsed.Seconds())
+	}()
 	if cap.Grid == nil {
 		return res
 	}
@@ -127,20 +131,26 @@ func (s *Scope) decodeCommon(snap *snapshot, cap *radio.Capture, res *decodeResu
 		if !spanTrue(occupied, cand.StartCCE, cand.AggLevel) || anyTrue(claimed, cand.StartCCE, cand.AggLevel) {
 			continue
 		}
+		met.candAttempted.Inc()
 		block, err := s.codec.DecodeCandidate(cap.Grid, snap.coreset, cand, cap.Ref.Slot, fallbackSize, cap.N0)
 		if err != nil {
+			met.decodeFailed.Inc()
 			continue
 		}
 		payload, rnti, ok := bits.RecoverRNTI(block)
 		if !ok {
+			met.decodeFailed.Inc()
 			continue
 		}
+		met.crntiRecovers.Inc()
 		d, err := dci.Unpack(payload, dci.Fallback, snap.commonCfg)
 		if err != nil {
+			met.decodeFailed.Inc()
 			continue
 		}
 		grant, err := dci.ToGrant(d, rnti, snap.commonCfg, controlLink())
 		if err != nil {
+			met.decodeFailed.Inc()
 			continue
 		}
 		// CCEs are claimed only for accepted finds: a RecoverRNTI false
@@ -149,6 +159,7 @@ func (s *Scope) decodeCommon(snap *snapshot, cap *radio.Capture, res *decodeResu
 
 		switch {
 		case rnti == dci.SIRNTI:
+			met.candMatched.Inc()
 			if snap.sib1 == nil && res.sib1 == nil {
 				if data, ok := pdsch.Decode(cap.Grid, grant, s.cellID, cap.N0); ok {
 					if sib1, err := rrc.DecodeSIB1(data); err == nil {
@@ -159,6 +170,7 @@ func (s *Scope) decodeCommon(snap *snapshot, cap *radio.Capture, res *decodeResu
 			res.common = append(res.common, foundDCI{rnti: rnti, d: d, grant: grant, cand: cand})
 			markTrue(claimed, cand.StartCCE, cand.AggLevel)
 		case isRecentRARNTI(rnti, cap.SlotIdx):
+			met.candMatched.Inc()
 			res.common = append(res.common, foundDCI{rnti: rnti, d: d, grant: grant, cand: cand})
 			markTrue(claimed, cand.StartCCE, cand.AggLevel)
 		default:
@@ -178,6 +190,8 @@ func (s *Scope) decodeCommon(snap *snapshot, cap *radio.Capture, res *decodeResu
 					res.setup = &setup
 				}
 			}
+			met.candMatched.Inc()
+			met.msg4Hits.Inc()
 			res.newUEs = append(res.newUEs, newUE{rnti: rnti, grant: grant, cand: cand})
 			markTrue(claimed, cand.StartCCE, cand.AggLevel)
 		}
@@ -255,8 +269,10 @@ func (s *Scope) decodePositions(snap *snapshot, cap *radio.Capture, payloadBits 
 				continue
 			}
 			cand := phy.Candidate{AggLevel: al, StartCCE: cce}
+			met.positions.Inc()
 			block, err := s.codec.DecodeCandidate(cap.Grid, snap.ueCoreset, cand, cap.Ref.Slot, payloadBits, cap.N0)
 			if err != nil {
+				met.decodeFailed.Inc()
 				continue
 			}
 			cache[posKey{al, cce}] = block
@@ -280,18 +296,22 @@ func (s *Scope) decodeOneUE(snap *snapshot, cap *radio.Capture, rnti uint16, siz
 		if overlapsAny(mine, cand) {
 			continue
 		}
+		met.candAttempted.Inc()
 		payload, ok := bits.CheckDCICRC(block, rnti)
 		if !ok {
-			continue
+			continue // expected: most candidates belong to other UEs
 		}
 		d, err := dci.Unpack(payload, sizeClass, cfg)
 		if err != nil {
+			met.decodeFailed.Inc()
 			continue
 		}
 		grant, err := dci.ToGrant(d, rnti, cfg, snap.link)
 		if err != nil {
+			met.decodeFailed.Inc()
 			continue
 		}
+		met.candMatched.Inc()
 		mine = append(mine, cand)
 		out = append(out, foundDCI{rnti: rnti, d: d, grant: grant, cand: cand})
 	}

@@ -3,6 +3,8 @@ package core
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"nrscope/internal/radio"
 )
@@ -17,6 +19,10 @@ import (
 // The worker pool enables on-demand processing: slots queue up when the
 // host is busy and drain later, lowering the CPU requirement when
 // real-time output is not needed (§4).
+//
+// The pipeline reports its runtime behaviour through internal/obs:
+// input queue depth, reordering-buffer size, worker busy/idle time and
+// the sync→async transition are all visible on the /metrics endpoint.
 type Pipeline struct {
 	scope   *Scope
 	workers int
@@ -32,8 +38,13 @@ type Pipeline struct {
 	// async flips once the cell is acquired. Until then Submit processes
 	// slots synchronously: cell search is a strict prerequisite of
 	// everything else (paper Fig. 2 step 1), and racing workers past an
-	// unmerged MIB/SIB1 would silently drop one-shot MSG4s.
-	async bool
+	// unmerged MIB/SIB1 would silently drop one-shot MSG4s. Atomic so
+	// concurrent observers (tests, metrics scrapes) read it race-free.
+	async atomic.Bool
+
+	// closed flips in Close; late Submits are dropped instead of
+	// panicking on the closed input channel.
+	closed atomic.Bool
 }
 
 // NewPipeline wraps a scope in an asynchronous pipeline with the given
@@ -52,9 +63,16 @@ func NewPipeline(scope *Scope, workers, queueDepth int) *Pipeline {
 		results: make(chan *SlotResult, queueDepth),
 		first:   make(chan int, 1),
 	}
+	met.queueCapacity.Set(int64(queueDepth))
+	met.queueDepth.Set(0)
+	met.reorderPending.Set(0)
 	p.start()
 	return p
 }
+
+// Async reports whether the pipeline has transitioned to asynchronous
+// worker-pool processing (it does after cell acquisition).
+func (p *Pipeline) Async() bool { return p.async.Load() }
 
 // start launches the workers and the merging scheduler.
 func (p *Pipeline) start() {
@@ -65,9 +83,19 @@ func (p *Pipeline) start() {
 		workerWG.Add(1)
 		go func() {
 			defer workerWG.Done()
-			for cap := range p.in {
+			for {
+				idleStart := time.Now()
+				cap, ok := <-p.in
+				met.workerIdleNs.Add(time.Since(idleStart).Nanoseconds())
+				if !ok {
+					return
+				}
+				met.queueDepth.Set(int64(len(p.in)))
+				busyStart := time.Now()
 				snap := p.snapshotLocked()
-				decoded <- p.scope.decodeSlot(snap, cap)
+				res := p.scope.decodeSlot(snap, cap)
+				met.workerBusyNs.Add(time.Since(busyStart).Nanoseconds())
+				decoded <- res
 			}
 		}()
 	}
@@ -101,12 +129,15 @@ func (p *Pipeline) start() {
 					return
 				}
 				delete(pending, next)
+				met.reorderPending.Set(int64(len(pending)))
 				p.results <- p.mergeLocked(res)
+				met.merged.Inc()
 				next++
 			}
 		}
 		for res := range decoded {
 			pending[res.slotIdx] = res
+			met.reorderPending.Set(int64(len(pending)))
 			flushReady()
 		}
 		// Input closed: drain stragglers in order (gaps allowed).
@@ -117,7 +148,9 @@ func (p *Pipeline) start() {
 		sort.Ints(idxs)
 		for _, idx := range idxs {
 			p.results <- p.mergeLocked(pending[idx])
+			met.merged.Inc()
 		}
+		met.reorderPending.Set(0)
 	}()
 }
 
@@ -135,31 +168,46 @@ func (p *Pipeline) mergeLocked(res *decodeResult) *SlotResult {
 	return p.scope.merge(res)
 }
 
-// Submit enqueues a capture. It blocks when the queue is full (radio
-// back-pressure). Submissions must be in slot order and come from a
-// single goroutine.
-func (p *Pipeline) Submit(cap *radio.Capture) {
-	if !p.async {
+// Submit enqueues a capture and reports whether it was accepted (a
+// Submit after Close is dropped). It blocks when the queue is full
+// (radio back-pressure). Submissions must be in slot order and come
+// from a single goroutine, never concurrently with Close.
+func (p *Pipeline) Submit(cap *radio.Capture) bool {
+	if p.closed.Load() {
+		met.dropped.Inc()
+		return false
+	}
+	if !p.async.Load() {
 		p.mu.Lock()
 		acquired := p.scope.CellAcquired()
 		p.mu.Unlock()
 		if !acquired {
 			res := p.scope.decodeSlot(p.snapshotLocked(), cap)
 			p.results <- p.mergeLocked(res)
-			return
+			met.syncSlots.Inc()
+			met.merged.Inc()
+			return true
 		}
-		p.async = true
+		p.async.Store(true)
+		met.asyncFlips.Inc()
 	}
 	p.firstOnce.Do(func() { p.first <- cap.SlotIdx })
 	p.in <- cap
+	met.submitted.Inc()
+	met.queueDepth.Set(int64(len(p.in)))
+	return true
 }
 
 // Results returns the ordered result stream. It is closed after Close
 // once all submitted slots have drained.
 func (p *Pipeline) Results() <-chan *SlotResult { return p.results }
 
-// Close stops accepting captures and waits for in-flight slots.
+// Close stops accepting captures and waits for in-flight slots. It is
+// idempotent, but must not race a concurrent Submit.
 func (p *Pipeline) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
 	close(p.in)
 	p.wg.Wait()
 }

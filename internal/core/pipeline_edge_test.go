@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"nrscope/internal/obs"
+	"nrscope/internal/radio"
+	"nrscope/internal/ran"
+	"nrscope/internal/rrc"
+)
+
+// manualScope returns a scope with the cell configuration preloaded, so
+// a pipeline wrapping it goes asynchronous on the first Submit.
+func manualScope(cfg ran.CellConfig) *Scope {
+	mib := rrc.MIB{
+		SFN: 0, Mu: cfg.Mu, CellID: cfg.CellID,
+		Coreset0StartPRB: cfg.Coreset0.StartPRB,
+		Coreset0NumPRB:   cfg.Coreset0.NumPRB,
+		Coreset0Duration: cfg.Coreset0.Duration,
+	}
+	return New(cfg.CellID, WithManualCellInfo(mib, cfg.SIB1()))
+}
+
+// emptyCapture is a slot with no downlink transmission (nil grid):
+// decodeSlot returns immediately, which keeps the pipeline mechanics
+// under test without the decoding cost.
+func emptyCapture(slotIdx int) *radio.Capture {
+	return &radio.Capture{SlotIdx: slotIdx}
+}
+
+func TestPipelineSubmitAfterClose(t *testing.T) {
+	cfg := amari()
+	p := NewPipeline(manualScope(cfg), 2, 8)
+	go func() {
+		for range p.Results() {
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		if !p.Submit(emptyCapture(i)) {
+			t.Fatalf("submit %d rejected on an open pipeline", i)
+		}
+	}
+	p.Close()
+
+	before := obs.Snapshot()
+	for i := 4; i < 7; i++ {
+		if p.Submit(emptyCapture(i)) {
+			t.Errorf("submit %d accepted after Close", i)
+		}
+	}
+	d := obs.Delta(before, obs.Snapshot())
+	if got := d["nrscope_pipeline_slots_dropped_total"]; got != 3 {
+		t.Errorf("dropped-slot counter delta = %g, want 3", got)
+	}
+	// Close is idempotent.
+	p.Close()
+}
+
+func TestPipelineReorderDrainsSlotGaps(t *testing.T) {
+	// Slot gaps happen when the radio skips slots (overruns, uplink-only
+	// slots filtered upstream). The reordering buffer must deliver what
+	// it has in order: contiguous slots flow immediately, the post-gap
+	// tail drains sorted at Close.
+	cfg := amari()
+	p := NewPipeline(manualScope(cfg), 3, 16)
+	if p.Async() {
+		t.Fatal("pipeline async before first Submit")
+	}
+	gaps := []int{0, 1, 5, 6, 12}
+	done := make(chan []int)
+	go func() {
+		var order []int
+		for res := range p.Results() {
+			order = append(order, res.SlotIdx)
+		}
+		done <- order
+	}()
+	for _, idx := range gaps {
+		p.Submit(emptyCapture(idx))
+	}
+	if !p.Async() {
+		t.Error("pipeline still synchronous after submits with cell acquired")
+	}
+	p.Close()
+	order := <-done
+	if len(order) != len(gaps) {
+		t.Fatalf("got %d results, want %d", len(order), len(gaps))
+	}
+	for i, idx := range gaps {
+		if order[i] != idx {
+			t.Fatalf("result order %v, want %v", order, gaps)
+		}
+	}
+}
+
+func TestPipelineBackpressureBlocksSubmit(t *testing.T) {
+	// With one worker, a depth-4 queue and nobody draining results, the
+	// pipeline's bounded channels must push back on Submit rather than
+	// buffer unboundedly — the paper's radio back-pressure contract.
+	cfg := amari()
+	const total = 40
+	p := NewPipeline(manualScope(cfg), 1, 4)
+	submitted := make(chan int, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			p.Submit(emptyCapture(i))
+		}
+		submitted <- total
+	}()
+
+	select {
+	case <-submitted:
+		t.Fatal("submitter never blocked: back-pressure is broken")
+	case <-time.After(300 * time.Millisecond):
+		// Blocked as expected; the input queue must be holding slots.
+		if depth := obs.Snapshot()["nrscope_pipeline_queue_depth"]; depth < 1 {
+			t.Errorf("queue depth gauge = %g while back-pressured, want >= 1", depth)
+		}
+	}
+
+	var order []int
+	drained := make(chan struct{})
+	go func() {
+		for res := range p.Results() {
+			order = append(order, res.SlotIdx)
+		}
+		close(drained)
+	}()
+	<-submitted // draining the results unblocks the submitter
+	p.Close()
+	<-drained
+	if len(order) != total {
+		t.Fatalf("drained %d results, want %d", len(order), total)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] != order[i-1]+1 {
+			t.Fatalf("results out of order at %d: %d after %d", i, order[i], order[i-1])
+		}
+	}
+}
+
+func TestObsSnapshotDeltasAcrossRun(t *testing.T) {
+	// The acceptance test for the instrumentation itself: counter deltas
+	// across a simulated multi-slot run must account for the work done.
+	cfg := amari()
+	tb := newTestbed(t, cfg, 25)
+	tb.gnb.AddUE(bulk(cfg), -1)
+
+	before := obs.Snapshot()
+	const slots = 800
+	for i := 0; i < slots; i++ {
+		tb.step()
+	}
+	d := obs.Delta(before, obs.Snapshot())
+
+	if got := d["nrscope_scope_slots_processed_total"]; got != slots {
+		t.Errorf("slots_processed delta = %g, want %d", got, slots)
+	}
+	if got := d["nrscope_scope_decode_latency_seconds_count"]; got != slots {
+		t.Errorf("decode latency histogram count delta = %g, want %d", got, slots)
+	}
+	if d["nrscope_scope_decode_latency_seconds_sum"] <= 0 {
+		t.Error("decode latency histogram sum did not grow")
+	}
+	if got := d["nrscope_scope_mib_acquired_total"]; got != 1 {
+		t.Errorf("mib_acquired delta = %g, want 1", got)
+	}
+	if got := d["nrscope_scope_sib1_acquired_total"]; got != 1 {
+		t.Errorf("sib1_acquired delta = %g, want 1", got)
+	}
+	if got := d["nrscope_scope_msg4_hits_total"]; got < 1 {
+		t.Errorf("msg4_hits delta = %g, want >= 1", got)
+	}
+	if got := d["nrscope_scope_crnti_recoveries_total"]; got < 1 {
+		t.Errorf("crnti_recoveries delta = %g, want >= 1", got)
+	}
+	attempted := d["nrscope_scope_blind_candidates_attempted_total"]
+	matched := d["nrscope_scope_blind_candidates_matched_total"]
+	if attempted <= 0 {
+		t.Error("no blind-decode candidates attempted")
+	}
+	if matched <= 0 || matched > attempted {
+		t.Errorf("candidates matched delta = %g (attempted %g)", matched, attempted)
+	}
+	if d["nrscope_scope_blind_positions_decoded_total"] <= 0 {
+		t.Error("position cache never decoded a candidate position")
+	}
+	if tracked := obs.Snapshot()["nrscope_scope_ues_tracked"]; tracked < 1 {
+		t.Errorf("ues_tracked gauge = %g, want >= 1", tracked)
+	}
+}

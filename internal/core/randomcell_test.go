@@ -15,6 +15,9 @@ import (
 // phantom records. This guards the configuration space the paper's
 // tool must handle ("the highly flexible 5G control channel").
 func TestRandomCellConfigsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end sweep; skipped in -short (race CI)")
+	}
 	type bwmu struct {
 		mhz int
 		mu  phy.Numerology

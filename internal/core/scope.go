@@ -260,12 +260,14 @@ func (s *Scope) merge(res *decodeResult) *SlotResult {
 		s.commonSS = phy.SearchSpace{ID: 0, Type: phy.CommonSearchSpace, Candidates: phy.DefaultCommonCandidates()}
 		s.commonCfg = dci.Config{BWPPRBs: s.coreset.NumPRB, TimeAllocRows: len(phy.DefaultTimeAllocTable), MaxHARQ: 16}
 		out.MIBAcquired = true
+		met.mibAcquired.Inc()
 	}
 	if res.sib1 != nil && s.sib1 == nil {
 		s.sib1 = res.sib1
 		s.dataCfg = dci.Config{BWPPRBs: res.sib1.CarrierPRBs, TimeAllocRows: res.sib1.TimeAllocRows, MaxHARQ: 16}
 		s.estimator = telemetry.NewWindowEstimator(s.window, s.mib.Mu.SlotDuration())
 		out.SIB1Acquired = true
+		met.sib1Acquired.Inc()
 	}
 	if res.setup != nil && s.setup == nil {
 		s.setup = res.setup
@@ -312,6 +314,7 @@ func (s *Scope) merge(res *decodeResult) *SlotResult {
 	for _, f := range res.data {
 		track := s.ues[f.rnti]
 		if track == nil {
+			met.mergeDropped.Inc()
 			continue // aged out between decode and merge
 		}
 		track.LastSeen = res.slotIdx
@@ -342,6 +345,7 @@ func (s *Scope) merge(res *decodeResult) *SlotResult {
 	}
 
 	s.purgeInactive(res.slotIdx)
+	met.uesTracked.Set(int64(len(s.ues)))
 	return out
 }
 

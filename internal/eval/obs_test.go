@@ -1,0 +1,38 @@
+package eval
+
+import (
+	"testing"
+
+	"nrscope/internal/channel"
+	"nrscope/internal/ran"
+)
+
+func TestSessionCollectsObsDeltas(t *testing.T) {
+	res, err := Run(SessionConfig{
+		Cell:       ran.AmarisoftCell(),
+		ScopeSNRdB: 25,
+		UEs:        []UESpec{{Model: channel.Normal, DL: WorkloadLight, SessionSlots: -1}},
+		Slots:      800,
+		Seed:       123,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs == nil {
+		t.Fatal("session did not collect obs deltas")
+	}
+	if got := res.Obs["nrscope_scope_slots_processed_total"]; got != 800 {
+		t.Errorf("slots_processed delta = %g, want 800", got)
+	}
+	if res.Obs["nrscope_sched_grants_issued_total"] <= 0 {
+		t.Error("simulator issued no grants during the session")
+	}
+	if res.Obs["nrscope_sched_spare_res_total"] <= 0 {
+		t.Error("simulator recorded no spare REs during the session")
+	}
+	// The scope's blind decoding must account for the records the
+	// session collected: every record is a matched candidate.
+	if matched := res.Obs["nrscope_scope_blind_candidates_matched_total"]; matched < float64(len(res.Records)) {
+		t.Errorf("candidates matched delta = %g < %d records", matched, len(res.Records))
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"nrscope/internal/channel"
 	"nrscope/internal/core"
+	"nrscope/internal/obs"
 	"nrscope/internal/radio"
 	"nrscope/internal/ran"
 	"nrscope/internal/sched"
@@ -128,6 +129,13 @@ type SessionResult struct {
 
 	Elapsed []time.Duration // per-processed-slot decode time
 
+	// Obs holds the obs.Snapshot() counter deltas accumulated across
+	// this session's slots (decode attempts, grants issued, and so on),
+	// so figures and tests can assert the instrumented pipeline did the
+	// work it claims. Gauge entries are point-in-time deltas and only
+	// meaningful for sessions run back to back.
+	Obs map[string]float64
+
 	GNB   *ran.GNB
 	Scope *core.Scope
 }
@@ -176,6 +184,7 @@ func Run(sc SessionConfig) (*SessionResult, error) {
 		sampleEvery = 100
 	}
 
+	obsBefore := obs.Snapshot()
 	for i := 0; i < sc.Slots; i++ {
 		out := gnb.Step()
 		cap := rx.Capture(out.SlotIdx, out.Ref, out.Grid)
@@ -202,6 +211,7 @@ func Run(sc SessionConfig) (*SessionResult, error) {
 			res.sampleBitrates(out.SlotIdx, sr)
 		}
 	}
+	res.Obs = obs.Delta(obsBefore, obs.Snapshot())
 	return res, nil
 }
 

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server is the opt-in observability listener: Prometheus metrics on
+// /metrics, the expvar JSON dump on /debug/vars, and the full pprof
+// suite under /debug/pprof/. It deliberately uses its own mux so
+// nothing leaks onto http.DefaultServeMux.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	wg  sync.WaitGroup
+}
+
+// Serve starts the observability listener on addr (e.g. ":9090" or
+// "127.0.0.1:0") exposing the Default registry.
+func Serve(addr string) (*Server, error) {
+	return ServeRegistry(addr, Default)
+}
+
+// ServeRegistry starts the observability listener for a specific
+// registry.
+func ServeRegistry(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.srv.Serve(ln) // returns on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the listening address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the Default registry's Snapshot as the expvar
+// variable "nrscope_metrics" (idempotent), so /debug/vars carries the
+// same numbers as /metrics in JSON form.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("nrscope_metrics", expvar.Func(func() any {
+			return Snapshot()
+		}))
+	})
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test_events_total", "events"); again != c {
+		t.Error("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-2)
+	g.Dec()
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 0.5555; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	bounds, counts := h.Buckets()
+	wantCounts := []int64{1, 2, 3} // cumulative
+	for i := range bounds {
+		if counts[i] != wantCounts[i] {
+			t.Errorf("bucket le=%g count = %d, want %d", bounds[i], counts[i], wantCounts[i])
+		}
+	}
+}
+
+func TestSnapshotAndDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "")
+	g := r.Gauge("test_gauge", "")
+	h := r.Histogram("test_hist", "", []float64{1})
+	r.GaugeFunc("test_fn", "", func() float64 { return 42 })
+
+	before := r.Snapshot()
+	c.Add(3)
+	g.Set(-2)
+	h.Observe(0.5)
+	h.Observe(2)
+	after := r.Snapshot()
+	d := Delta(before, after)
+
+	if d["test_total"] != 3 {
+		t.Errorf("counter delta = %g, want 3", d["test_total"])
+	}
+	if d["test_gauge"] != -2 {
+		t.Errorf("gauge delta = %g, want -2", d["test_gauge"])
+	}
+	if d["test_hist_count"] != 2 {
+		t.Errorf("hist count delta = %g, want 2", d["test_hist_count"])
+	}
+	if d["test_hist_sum"] != 2.5 {
+		t.Errorf("hist sum delta = %g, want 2.5", d["test_hist_sum"])
+	}
+	if after["test_fn"] != 42 {
+		t.Errorf("gauge func = %g, want 42", after["test_fn"])
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_events_total", "total events").Add(9)
+	r.Gauge("test_depth", "queue depth").Set(3)
+	h := r.Histogram("test_latency_seconds", "slot latency", []float64{0.001, 0.01})
+	h.Observe(0.002)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP test_events_total total events",
+		"# TYPE test_events_total counter",
+		"test_events_total 9",
+		"# TYPE test_depth gauge",
+		"test_depth 3",
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="0.001"} 0`,
+		`test_latency_seconds_bucket{le="0.01"} 1`,
+		`test_latency_seconds_bucket{le="+Inf"} 1`,
+		"test_latency_seconds_sum 0.002",
+		"test_latency_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_http_total", "via http").Add(5)
+	srv, err := ServeRegistry("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "test_http_total 5") {
+		t.Errorf("/metrics = %d, body:\n%s", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "{") {
+		t.Errorf("/debug/vars = %d, body:\n%s", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ = %d, want 200", code)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("test_name", "")
+	r.Gauge("test_name", "")
+}

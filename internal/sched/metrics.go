@@ -1,0 +1,49 @@
+package sched
+
+import "nrscope/internal/obs"
+
+// met instruments the simulator-side MAC schedulers: how many grants
+// the cell issues and how many resource elements it leaves spare per
+// TTI — the ground truth the scope's passive spare-capacity estimate
+// (§5.4.1) is judged against.
+var met = struct {
+	grantsIssued *obs.Counter
+	retxGrants   *obs.Counter
+	grantedBits  *obs.Counter
+	spareREs     *obs.Counter
+	schedCalls   *obs.Counter
+}{
+	grantsIssued: obs.Default.Counter("nrscope_sched_grants_issued_total",
+		"allocations issued by the MAC schedulers"),
+	retxGrants: obs.Default.Counter("nrscope_sched_retx_grants_total",
+		"allocations that are HARQ retransmissions"),
+	grantedBits: obs.Default.Counter("nrscope_sched_granted_bits_total",
+		"transport block bits granted"),
+	spareREs: obs.Default.Counter("nrscope_sched_spare_res_total",
+		"resource elements left unallocated in scheduled regions"),
+	schedCalls: obs.Default.Counter("nrscope_sched_calls_total",
+		"Schedule invocations"),
+}
+
+// subcarriersPerPRB mirrors phy.SubcarriersPerPRB without the import
+// (this package deliberately stays phy-free; see timeRowSymbols).
+const subcarriersPerPRB = 12
+
+// observeSchedule records one Schedule call's outcome: the grants it
+// issued and the REs of the region it left spare.
+func observeSchedule(allocs []Allocation, region Region) {
+	met.schedCalls.Inc()
+	usedPRBs := 0
+	for _, a := range allocs {
+		met.grantsIssued.Inc()
+		met.grantedBits.Add(int64(a.TBS))
+		if a.IsRetx {
+			met.retxGrants.Inc()
+		}
+		usedPRBs += a.NumPRB
+	}
+	sparePRBs := region.NumPRB - usedPRBs
+	if sparePRBs > 0 {
+		met.spareREs.Add(int64(sparePRBs * subcarriersPerPRB * timeRowSymbols(region.TimeRow)))
+	}
+}

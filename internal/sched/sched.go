@@ -169,11 +169,11 @@ func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 func (r *RoundRobin) Name() string { return "round-robin" }
 
 // Schedule implements Scheduler.
-func (r *RoundRobin) Schedule(slot int, reqs []Request, region Region) []Allocation {
+func (r *RoundRobin) Schedule(slot int, reqs []Request, region Region) (out []Allocation) {
 	if len(reqs) == 0 || region.NumPRB < 1 {
 		return nil
 	}
-	var out []Allocation
+	defer func() { observeSchedule(out, region) }()
 	nextPRB := region.StartPRB
 	start := r.next % len(reqs)
 	for i := 0; i < len(reqs); i++ {
@@ -206,10 +206,11 @@ func NewProportionalFair() *ProportionalFair {
 func (p *ProportionalFair) Name() string { return "proportional-fair" }
 
 // Schedule implements Scheduler.
-func (p *ProportionalFair) Schedule(slot int, reqs []Request, region Region) []Allocation {
+func (p *ProportionalFair) Schedule(slot int, reqs []Request, region Region) (out []Allocation) {
 	if len(reqs) == 0 || region.NumPRB < 1 {
 		return nil
 	}
+	defer func() { observeSchedule(out, region) }()
 	type scored struct {
 		req      Request
 		priority float64
@@ -225,7 +226,6 @@ func (p *ProportionalFair) Schedule(slot int, reqs []Request, region Region) []A
 	}
 	sort.SliceStable(order, func(a, b int) bool { return order[a].priority > order[b].priority })
 
-	var out []Allocation
 	nextPRB := region.StartPRB
 	served := make(map[uint16]float64, len(reqs))
 	for _, s := range order {

@@ -31,6 +31,7 @@ func (w *Writer) Write(rec Record) error {
 		return fmt.Errorf("telemetry: %w", err)
 	}
 	w.n++
+	met.recordsWritten.Inc()
 	return nil
 }
 

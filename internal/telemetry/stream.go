@@ -50,6 +50,7 @@ func (s *Server) accept() {
 			return
 		}
 		s.subs[conn] = bufio.NewWriter(conn)
+		met.subscribers.Set(int64(len(s.subs)))
 		s.mu.Unlock()
 	}
 }
@@ -64,17 +65,27 @@ func (s *Server) Publish(rec Record) {
 	data = append(data, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var backlog int64
 	for conn, bw := range s.subs {
 		if _, err := bw.Write(data); err != nil {
 			_ = conn.Close()
 			delete(s.subs, conn)
+			met.subscribersDrop.Inc()
 			continue
 		}
+		// Buffered bytes before the flush are the stream's momentary
+		// backlog: how far this publish got ahead of the sockets.
+		backlog += int64(bw.Buffered())
 		if err := bw.Flush(); err != nil {
 			_ = conn.Close()
 			delete(s.subs, conn)
+			met.subscribersDrop.Inc()
+			continue
 		}
+		met.recordsPublished.Inc()
 	}
+	met.backlogBytes.Set(backlog)
+	met.subscribers.Set(int64(len(s.subs)))
 }
 
 // Subscribers reports the current subscriber count.
@@ -92,6 +103,7 @@ func (s *Server) Close() error {
 		_ = conn.Close()
 	}
 	s.subs = map[net.Conn]*bufio.Writer{}
+	met.subscribers.Set(0)
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
