@@ -1,16 +1,28 @@
 // Command nrscope runs the telemetry tool against a simulated 5G SA
 // cell: it acquires MIB/SIB1, tracks UE associations through the RACH,
-// decodes every UE's DCIs per TTI, and writes the telemetry log —
-// optionally streaming it over TCP to application servers, the paper's
-// §6 feedback path.
+// decodes every UE's DCIs per TTI, and distributes the telemetry
+// through the internal/bus fanout to any number of sinks — JSONL log
+// files, TCP subscribers, and a live SSE feed on the observability
+// endpoint (the paper's §6 feedback path).
 //
 // Usage:
 //
 //	nrscope -cell amarisoft -ues 4 -duration 10s -threads 4 \
-//	        -log telemetry.jsonl -stream 127.0.0.1:9900
-//	nrscope -record capture.nrsc -duration 10s     # save the air capture
-//	nrscope -replay capture.nrsc -log t.jsonl      # post-process offline
-//	nrscope -metrics 127.0.0.1:9090 ...            # Prometheus + pprof endpoint
+//	        -sink jsonl:telemetry.jsonl -sink tcp:127.0.0.1:9900
+//	nrscope -metrics 127.0.0.1:9090 -sink sse ...   # SSE feed on /events
+//	nrscope -record capture.nrsc -duration 10s      # save the air capture
+//	nrscope -replay capture.nrsc -sink jsonl:t.jsonl  # post-process offline
+//
+// The -sink flag is repeatable; its grammar is
+//
+//	jsonl:PATH   append JSON lines to PATH (Block policy: lossless,
+//	             drained in full on shutdown; -sink-rotate-mb rotates)
+//	tcp:ADDR     serve JSONL over TCP on ADDR (per-connection DropOldest
+//	             queues: a slow subscriber drops its own records)
+//	sse          serve server-sent events on the -metrics mux at /events
+//
+// The legacy -log PATH and -stream ADDR flags remain as shorthands for
+// jsonl: and tcp: sinks.
 package main
 
 import (
@@ -19,30 +31,45 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"nrscope"
+	"nrscope/internal/bus"
 	"nrscope/internal/capfile"
 	"nrscope/internal/obs"
-	"nrscope/internal/telemetry"
 )
 
+// sinkList collects repeated -sink flags.
+type sinkList []string
+
+func (s *sinkList) String() string { return strings.Join(*s, ",") }
+
+func (s *sinkList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
 func main() {
+	var sinks sinkList
 	var (
 		cellName = flag.String("cell", "amarisoft", "cell preset: srsran|mosolab|amarisoft|tmobile1|tmobile2")
 		ues      = flag.Int("ues", 2, "number of simulated UEs")
 		duration = flag.Duration("duration", 5*time.Second, "capture duration")
 		threads  = flag.Int("threads", 1, "DCI decoding threads")
 		seed     = flag.Int64("seed", 1, "random seed")
-		logPath  = flag.String("log", "", "telemetry JSONL output file")
-		stream   = flag.String("stream", "", "TCP address to serve live telemetry on")
+		logPath  = flag.String("log", "", "telemetry JSONL output file (shorthand for -sink jsonl:PATH)")
+		stream   = flag.String("stream", "", "TCP address to serve live telemetry on (shorthand for -sink tcp:ADDR)")
+		rotateMB = flag.Int64("sink-rotate-mb", 0, "rotate jsonl sinks after this many MiB (0 = never)")
 		noVerify = flag.Bool("skip-msg4-verify", false, "skip RRC Setup PDSCH verification of new UEs (paper's shortcut)")
 		record   = flag.String("record", "", "save the raw capture stream to this file")
 		replay   = flag.String("replay", "", "process a recorded capture file instead of live slots")
-		metrics  = flag.String("metrics", "", "serve Prometheus /metrics, /debug/vars and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		metrics  = flag.String("metrics", "", "serve Prometheus /metrics, /debug/vars, /debug/pprof and the /events SSE feed on this address (e.g. 127.0.0.1:9090)")
 	)
+	flag.Var(&sinks, "sink", "telemetry sink (repeatable): jsonl:PATH | tcp:ADDR | sse")
 	flag.Parse()
 
+	var metricsSrv *obs.Server
 	if *metrics != "" {
 		obs.PublishExpvar()
 		srv, err := obs.Serve(*metrics)
@@ -50,15 +77,32 @@ func main() {
 			log.Fatal(err)
 		}
 		defer srv.Close()
+		metricsSrv = srv
 		fmt.Fprintf(os.Stderr, "nrscope: observability on http://%s/metrics\n", srv.Addr())
 	}
+
+	// Legacy shorthands feed the same bus as explicit -sink flags.
+	if *logPath != "" {
+		sinks = append(sinks, "jsonl:"+*logPath)
+	}
+	if *stream != "" {
+		sinks = append(sinks, "tcp:"+*stream)
+	}
+	b, closeBus, err := setupSinks(sinks, *rotateMB, metricsSrv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeBus()
 
 	opts := []nrscope.Option{nrscope.WithDCIThreads(*threads)}
 	if *noVerify {
 		opts = append(opts, nrscope.WithVerifyMSG4(false))
 	}
+	if b != nil {
+		opts = append(opts, nrscope.WithBus(b))
+	}
 	if *replay != "" {
-		runReplay(*replay, *logPath, opts)
+		runReplay(*replay, opts)
 		return
 	}
 
@@ -91,26 +135,6 @@ func main() {
 		defer recorder.Close()
 	}
 
-	var writer *telemetry.Writer
-	if *logPath != "" {
-		f, err := os.Create(*logPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		writer = telemetry.NewWriter(f)
-		defer writer.Flush()
-	}
-	var server *telemetry.Server
-	if *stream != "" {
-		server, err = telemetry.NewServer(*stream)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer server.Close()
-		fmt.Fprintf(os.Stderr, "nrscope: streaming telemetry on %s\n", server.Addr())
-	}
-
 	var records, newUEs int
 	var elapsed time.Duration
 	var processed int
@@ -125,17 +149,7 @@ func main() {
 		for _, rnti := range res.NewUEs {
 			fmt.Fprintf(os.Stderr, "nrscope: new UE c-rnti=0x%04x at slot %d\n", rnti, res.SlotIdx)
 		}
-		for _, rec := range res.Records {
-			records++
-			if writer != nil {
-				if err := writer.Write(rec); err != nil {
-					log.Fatal(err)
-				}
-			}
-			if server != nil {
-				server.Publish(rec)
-			}
-		}
+		records += len(res.Records)
 		elapsed += res.Elapsed
 		processed++
 	}
@@ -162,9 +176,69 @@ func main() {
 	}
 }
 
+// setupSinks builds the telemetry bus from the -sink specs. Returns a
+// nil bus when no sinks are requested. The returned closer drains the
+// bus (Block sinks lose zero records) and then shuts the TCP servers.
+func setupSinks(specs []string, rotateMB int64, metricsSrv *obs.Server) (*bus.Bus, func(), error) {
+	if len(specs) == 0 {
+		return nil, func() {}, nil
+	}
+	b := bus.New()
+	var tcpServers []*bus.TCPServer
+	closer := func() {
+		if err := b.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "nrscope: sink drain: %v\n", err)
+		}
+		for _, srv := range tcpServers {
+			_ = srv.Close()
+		}
+	}
+	fail := func(err error) (*bus.Bus, func(), error) {
+		closer()
+		return nil, func() {}, err
+	}
+	for _, spec := range specs {
+		kind, arg, _ := strings.Cut(spec, ":")
+		switch kind {
+		case "jsonl":
+			if arg == "" {
+				return fail(fmt.Errorf("nrscope: -sink jsonl needs a path (jsonl:PATH)"))
+			}
+			sink, err := bus.NewJSONLFileSink(arg, rotateMB<<20)
+			if err != nil {
+				return fail(err)
+			}
+			// Block policy: the log is the lossless record of the run.
+			if _, err := b.Subscribe("jsonl", bus.Block, sink); err != nil {
+				return fail(err)
+			}
+		case "tcp":
+			if arg == "" {
+				return fail(fmt.Errorf("nrscope: -sink tcp needs an address (tcp:ADDR)"))
+			}
+			srv, err := bus.NewTCPServer(b, arg)
+			if err != nil {
+				return fail(err)
+			}
+			tcpServers = append(tcpServers, srv)
+			fmt.Fprintf(os.Stderr, "nrscope: streaming telemetry on %s\n", srv.Addr())
+		case "sse":
+			if metricsSrv == nil {
+				return fail(fmt.Errorf("nrscope: -sink sse needs the -metrics endpoint (it serves /events on that mux)"))
+			}
+			metricsSrv.Handle("/events", bus.SSEHandler(b))
+			fmt.Fprintf(os.Stderr, "nrscope: SSE telemetry on http://%s/events\n", metricsSrv.Addr())
+		default:
+			return fail(fmt.Errorf("nrscope: unknown sink %q (want jsonl:PATH, tcp:ADDR or sse)", spec))
+		}
+	}
+	return b, closer, nil
+}
+
 // runReplay post-processes a recorded capture file offline (§4: the
-// worker pool's on-demand mode; §7: the post-processing library).
-func runReplay(path, logPath string, opts []nrscope.Option) {
+// worker pool's on-demand mode; §7: the post-processing library). The
+// scope publishes through the same bus/sink set as a live run.
+func runReplay(path string, opts []nrscope.Option) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -179,16 +253,6 @@ func runReplay(path, logPath string, opts []nrscope.Option) {
 		hdr.CellID, hdr.Mu, hdr.NumPRB, path)
 	scope := nrscope.New(hdr.CellID, opts...)
 
-	var writer *telemetry.Writer
-	if logPath != "" {
-		out, err := os.Create(logPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer out.Close()
-		writer = telemetry.NewWriter(out)
-		defer writer.Flush()
-	}
 	records, slots, lastSlot := 0, 0, 0
 	for {
 		cap, err := r.Next()
@@ -201,14 +265,7 @@ func runReplay(path, logPath string, opts []nrscope.Option) {
 		res := scope.ProcessSlot(cap)
 		slots++
 		lastSlot = res.SlotIdx
-		for _, rec := range res.Records {
-			records++
-			if writer != nil {
-				if err := writer.Write(rec); err != nil {
-					log.Fatal(err)
-				}
-			}
-		}
+		records += len(res.Records)
 	}
 	fmt.Fprintf(os.Stderr, "nrscope: replayed %d slots, %d records, %d UEs tracked\n",
 		slots, records, len(scope.KnownUEs()))

@@ -6,7 +6,10 @@
 //
 // This example wires three parties in one process:
 //   - a simulated cell with one video UE plus a competing bulk UE,
-//   - NR-Scope publishing per-DCI telemetry on a local TCP port,
+//   - NR-Scope publishing per-DCI telemetry through the distribution
+//     bus (internal/bus) onto a local TCP port — each subscriber owns a
+//     bounded DropOldest queue, so a stalled receiver can never hold
+//     back the decode loop,
 //   - a toy sender subscribing to the feed and adapting its target rate
 //     to the UE's observed allocation + fair-share spare capacity.
 package main
@@ -17,6 +20,7 @@ import (
 	"time"
 
 	"nrscope"
+	"nrscope/internal/bus"
 	"nrscope/internal/telemetry"
 )
 
@@ -29,7 +33,13 @@ func main() {
 	competitor := tb.AttachUE(nrscope.UEProfile{Mobility: "static", SessionSeconds: 1.0})
 	fmt.Printf("target UE 0x%04x, competitor 0x%04x departs after 1 s\n", target, competitor)
 
-	server, err := telemetry.NewServer("127.0.0.1:0")
+	// Telemetry leaves the scope through the bus; the TCP server gives
+	// every subscriber its own queue (live feedback wants freshness, so
+	// the per-connection policy is DropOldest with a small batch delay).
+	feed := nrscope.NewBus()
+	defer feed.Close()
+	server, err := bus.NewTCPServer(feed, "127.0.0.1:0",
+		bus.WithConnOptions(bus.WithBatch(16, time.Millisecond)))
 	if err != nil {
 		panic(err)
 	}
@@ -64,7 +74,7 @@ func main() {
 	tb.RunFor(2*time.Second, func(res *nrscope.SlotResult) {
 		for _, rec := range res.Records {
 			if rec.RNTI == target {
-				server.Publish(rec)
+				_ = feed.Publish(rec)
 			}
 		}
 		if res.SlotIdx%reportEvery == 0 && res.SlotIdx > 0 {

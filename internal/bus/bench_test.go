@@ -1,0 +1,69 @@
+package bus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nrscope/internal/telemetry"
+)
+
+// BenchmarkBusFanout measures Publish throughput (records/sec into the
+// bus, and record-deliveries/sec out of it) across subscriber counts —
+// the distribution layer's analogue of the decode path's Fig.-12
+// numbers: how many consumers one scope's feed can serve.
+func BenchmarkBusFanout(b *testing.B) {
+	for _, subs := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("%dsubs", subs), func(b *testing.B) {
+			bb := New()
+			for i := 0; i < subs; i++ {
+				if _, err := bb.Subscribe(fmt.Sprintf("bench%d", i), DropOldest,
+					SinkFunc(func(recs []telemetry.Record) error { return nil }),
+					WithQueueSize(4096), WithBatch(256, time.Millisecond)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			r := telemetry.Record{SlotIdx: 1, RNTI: 0x4601, Downlink: true, TBS: 8192, MCS: 20}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.SlotIdx = i
+				if err := bb.Publish(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := bb.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "records/s")
+				b.ReportMetric(float64(b.N)*float64(subs)/secs, "deliveries/s")
+			}
+		})
+	}
+}
+
+// BenchmarkBusPublishBlock measures the lossless path: a Block
+// subscriber with a fast sink, the configuration of the JSONL log.
+func BenchmarkBusPublishBlock(b *testing.B) {
+	bb := New()
+	if _, err := bb.Subscribe("bench_block", Block,
+		SinkFunc(func(recs []telemetry.Record) error { return nil }),
+		WithQueueSize(4096), WithBatch(256, time.Millisecond)); err != nil {
+		b.Fatal(err)
+	}
+	r := telemetry.Record{SlotIdx: 1, RNTI: 0x4601, Downlink: true, TBS: 8192}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.SlotIdx = i
+		if err := bb.Publish(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := bb.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package bus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"nrscope/internal/telemetry"
+)
+
+// JSONLSink writes record batches as JSON lines — the bus-managed form
+// of the paper's Fig. 4 log file. Backed by a file (NewJSONLFileSink)
+// it rotates on size: when the current file exceeds maxBytes after a
+// flush, it is renamed to <path>.1, <path>.2, ... and a fresh <path> is
+// opened, so a long-lived service never grows one unbounded log.
+type JSONLSink struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	cw      *countingWriter
+	enc     *json.Encoder
+	file    *os.File // nil when wrapping a plain io.Writer
+	path    string
+	maxSize int64
+	seq     int
+	count   int64
+	closed  bool
+}
+
+// countingWriter tracks bytes flushed to the underlying writer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// NewJSONLSink wraps an io.Writer in a JSONL batch sink (no rotation).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	return &JSONLSink{bw: bw, cw: cw, enc: json.NewEncoder(bw)}
+}
+
+// NewJSONLFileSink creates (truncating) path and rotates it whenever it
+// exceeds maxBytes; maxBytes <= 0 disables rotation.
+func NewJSONLFileSink(path string, maxBytes int64) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("bus: jsonl sink: %w", err)
+	}
+	s := NewJSONLSink(f)
+	s.file = f
+	s.path = path
+	s.maxSize = maxBytes
+	return s, nil
+}
+
+// WriteBatch implements Sink: encode, flush, maybe rotate.
+func (s *JSONLSink) WriteBatch(recs []telemetry.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("bus: jsonl sink closed")
+	}
+	for _, rec := range recs {
+		if err := s.enc.Encode(rec); err != nil {
+			return fmt.Errorf("bus: jsonl sink: %w", err)
+		}
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("bus: jsonl sink: %w", err)
+	}
+	s.count += int64(len(recs))
+	if s.file != nil && s.maxSize > 0 && s.cw.n >= s.maxSize {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateLocked closes the current file, shelves it as <path>.<seq>, and
+// starts a fresh <path>.
+func (s *JSONLSink) rotateLocked() error {
+	if err := s.file.Close(); err != nil {
+		return fmt.Errorf("bus: jsonl rotate: %w", err)
+	}
+	s.seq++
+	if err := os.Rename(s.path, fmt.Sprintf("%s.%d", s.path, s.seq)); err != nil {
+		return fmt.Errorf("bus: jsonl rotate: %w", err)
+	}
+	f, err := os.Create(s.path)
+	if err != nil {
+		return fmt.Errorf("bus: jsonl rotate: %w", err)
+	}
+	s.file = f
+	s.cw = &countingWriter{w: f}
+	s.bw = bufio.NewWriter(s.cw)
+	s.enc = json.NewEncoder(s.bw)
+	return nil
+}
+
+// Count reports how many records were written across all generations.
+func (s *JSONLSink) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Rotations reports how many times the log rotated.
+func (s *JSONLSink) Rotations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Close flushes and, for file-backed sinks, closes the file.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.bw.Flush()
+	if s.file != nil {
+		if cerr := s.file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"nrscope/internal/bus"
 	"nrscope/internal/dci"
 	"nrscope/internal/harq"
 	"nrscope/internal/mcs"
@@ -69,6 +70,14 @@ func WithThroughputWindow(d time.Duration) Option {
 // brute-force baseline the gate is measured against).
 func WithDMRSGate(on bool) Option {
 	return func(s *Scope) { s.dmrsGate = on }
+}
+
+// WithBus attaches a telemetry distribution bus: every record the scope
+// emits (through ProcessSlot or the async Pipeline — both converge on
+// merge) is also published onto b, fanning out to the bus's sinks under
+// their own queues and backpressure policies.
+func WithBus(b *bus.Bus) Option {
+	return func(s *Scope) { s.bus = b }
 }
 
 // WithManualCellInfo preloads the cell configuration instead of decoding
@@ -158,6 +167,8 @@ type Scope struct {
 	estimator *telemetry.WindowEstimator
 	departed  []UEActivity
 	lastPurge int
+
+	bus *bus.Bus // optional telemetry distribution bus
 }
 
 // New creates a scope tuned to the physical cell id (obtained from the
@@ -346,6 +357,11 @@ func (s *Scope) merge(res *decodeResult) *SlotResult {
 
 	s.purgeInactive(res.slotIdx)
 	met.uesTracked.Set(int64(len(s.ues)))
+	if s.bus != nil {
+		for _, rec := range out.Records {
+			_ = s.bus.Publish(rec) // closed bus: records still in out
+		}
+	}
 	return out
 }
 

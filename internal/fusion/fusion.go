@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"nrscope/internal/bus"
 	"nrscope/internal/phy"
 	"nrscope/internal/telemetry"
 )
@@ -88,6 +89,8 @@ type Aggregator struct {
 
 	handovers []Handover
 	merged    []TimedRecord
+
+	bus *bus.Bus // optional: mirror the fused stream onto a bus
 }
 
 // TimedRecord is a telemetry record annotated with its cell and its
@@ -123,6 +126,12 @@ func (a *Aggregator) AddCell(cellID uint16, mu phy.Numerology) error {
 	return nil
 }
 
+// PublishTo mirrors every record Ingest accepts onto a telemetry bus,
+// making the aggregator a bus producer: downstream sinks see the fused
+// multi-cell stream through the same distribution layer as a single
+// scope's feed. Pass nil to stop mirroring.
+func (a *Aggregator) PublishTo(b *bus.Bus) { a.bus = b }
+
 // Ingest feeds one record from a cell's scope into the aggregate.
 func (a *Aggregator) Ingest(cellID uint16, rec telemetry.Record) error {
 	c := a.cells[cellID]
@@ -132,6 +141,9 @@ func (a *Aggregator) Ingest(cellID uint16, rec telemetry.Record) error {
 	at := time.Duration(rec.SlotIdx) * c.tti
 	a.merged = append(a.merged, TimedRecord{Cell: cellID, At: at, Rec: rec})
 	c.records++
+	if a.bus != nil {
+		_ = a.bus.Publish(rec) // closed bus: the aggregate still holds the record
+	}
 	if rec.Common {
 		return nil
 	}

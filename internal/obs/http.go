@@ -16,6 +16,7 @@ import (
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+	mux *http.ServeMux
 	wg  sync.WaitGroup
 }
 
@@ -40,7 +41,7 @@ func ServeRegistry(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, mux: mux}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -48,6 +49,11 @@ func ServeRegistry(addr string, reg *Registry) (*Server, error) {
 	}()
 	return s, nil
 }
+
+// Handle mounts an additional handler on the observability mux (e.g.
+// the telemetry bus's /events SSE feed next to /metrics). ServeMux
+// registration is safe while the server is running.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // Addr returns the listening address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }

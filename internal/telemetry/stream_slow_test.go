@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"nrscope/internal/obs"
+)
+
+// waitSubscribers polls until the server sees n subscribers.
+func waitSubscribers(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Subscribers() != n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Subscribers() != n {
+		t.Fatalf("subscribers = %d, want %d", s.Subscribers(), n)
+	}
+}
+
+// TestServerSlowConsumerDoesNotStall pins the pre-bus slow-consumer
+// contract: a subscriber that stops reading (socket buffers fill, every
+// write would block) must neither stall Publish nor deadlock Close —
+// the write deadline converts the stall into a counted drop.
+func TestServerSlowConsumerDoesNotStall(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetWriteTimeout(200 * time.Millisecond)
+
+	// A raw connection that never reads: the kernel buffers fill and
+	// then writes block until the deadline.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	waitSubscribers(t, s, 1)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Enough volume to overwhelm both socket buffers (~each record
+		// is ~230 bytes on the wire).
+		for i := 0; i < 50000 && s.Subscribers() > 0; i++ {
+			s.Publish(rec(i, 1, 1<<20, false))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("Publish stalled on a non-reading subscriber")
+	}
+	if s.Subscribers() != 0 {
+		t.Error("non-reading subscriber was never dropped")
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		_ = s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked after a slow consumer")
+	}
+}
+
+// TestSubscriberGaugeAccounting verifies the subscriber gauge cannot
+// leak a stale count: with two servers alive, a drop on one and a Close
+// on the other must each give back exactly their own contribution.
+func TestSubscriberGaugeAccounting(t *testing.T) {
+	gauge := func() float64 { return obs.Snapshot()["nrscope_telemetry_subscribers"] }
+	base := gauge()
+
+	a, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	ca, err := Dial(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+	waitSubscribers(t, a, 1)
+	waitSubscribers(t, b, 1)
+	if got := gauge() - base; got != 2 {
+		t.Fatalf("gauge delta = %v after two subscriptions, want 2", got)
+	}
+
+	// Drop a's subscriber through the Publish failure path; b's
+	// contribution must survive (a Set-based gauge would erase it).
+	_ = ca.Close()
+	for i := 0; i < 200 && a.Subscribers() > 0; i++ {
+		a.Publish(rec(i, 1, 100, false))
+		time.Sleep(time.Millisecond)
+	}
+	if a.Subscribers() != 0 {
+		t.Fatal("dead subscriber never dropped")
+	}
+	if got := gauge() - base; got != 1 {
+		t.Errorf("gauge delta = %v after one drop, want 1", got)
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := gauge() - base; got != 0 {
+		t.Errorf("gauge delta = %v after closing both, want 0", got)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"time"
 
+	"nrscope/internal/bus"
 	"nrscope/internal/channel"
 	"nrscope/internal/core"
 	"nrscope/internal/radio"
@@ -52,6 +53,10 @@ type (
 	Capture = radio.Capture
 	// UEActivity summarises one observed UE session.
 	UEActivity = core.UEActivity
+	// Bus is the in-process telemetry distribution bus (internal/bus):
+	// bounded per-sink queues, batching, backpressure policies, and
+	// managed pluggable sinks.
+	Bus = bus.Bus
 )
 
 // Engine options, re-exported from the core package.
@@ -66,7 +71,14 @@ var (
 	WithThroughputWindow = core.WithThroughputWindow
 	// WithDMRSGate toggles the candidate occupancy pre-filter.
 	WithDMRSGate = core.WithDMRSGate
+	// WithBus publishes every emitted record onto a telemetry bus.
+	WithBus = core.WithBus
 )
+
+// NewBus creates an empty telemetry distribution bus; attach it to a
+// scope with WithBus and add sinks via bus.Subscribe / bus.NewTCPServer
+// / bus sink constructors (see internal/bus).
+func NewBus() *Bus { return bus.New() }
 
 // New creates a telemetry engine for the cell with the given physical
 // cell id.
