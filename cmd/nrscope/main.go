@@ -12,6 +12,7 @@
 //	nrscope -metrics 127.0.0.1:9090 -sink sse ...   # SSE feed on /events
 //	nrscope -record capture.nrsc -duration 10s      # save the air capture
 //	nrscope -replay capture.nrsc -sink jsonl:t.jsonl  # post-process offline
+//	nrscope -history -metrics 127.0.0.1:9090 ...    # /history query API
 //
 // The -sink flag is repeatable; its grammar is
 //
@@ -37,6 +38,7 @@ import (
 	"nrscope"
 	"nrscope/internal/bus"
 	"nrscope/internal/capfile"
+	"nrscope/internal/history"
 	"nrscope/internal/obs"
 )
 
@@ -65,6 +67,12 @@ func main() {
 		record   = flag.String("record", "", "save the raw capture stream to this file")
 		replay   = flag.String("replay", "", "process a recorded capture file instead of live slots")
 		metrics  = flag.String("metrics", "", "serve Prometheus /metrics, /debug/vars, /debug/pprof and the /events SSE feed on this address (e.g. 127.0.0.1:9090)")
+
+		hist        = flag.Bool("history", false, "keep a queryable session-history store (served under /history on the -metrics mux)")
+		histBin     = flag.Duration("history-bin", 100*time.Millisecond, "history aggregation bin width")
+		histDepth   = flag.Int("history-depth", 600, "bins of history retained per UE and per cell")
+		histMaxUEs  = flag.Int("history-max-ues", 10000, "UE series cap in the history store (LRU eviction beyond it)")
+		idleHorizon = flag.Duration("idle-horizon", 0, "evict UEs idle longer than this from the scope and the history store (0 = slot-count default)")
 	)
 	flag.Var(&sinks, "sink", "telemetry sink (repeatable): jsonl:PATH | tcp:ADDR | sse")
 	flag.Parse()
@@ -92,6 +100,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The history store is a Block (lossless) bus subscriber, so turning
+	// it on creates a bus even when no -sink flags asked for one.
+	var store *history.Store
+	if *hist {
+		if b == nil {
+			nb := bus.New()
+			b = nb
+			closeBus = func() {
+				if err := nb.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "nrscope: history drain: %v\n", err)
+				}
+			}
+		}
+		store = history.New(history.Config{
+			BinWidth: *histBin, Depth: *histDepth, MaxUEs: *histMaxUEs,
+			IdleHorizon: *idleHorizon,
+		})
+		if metricsSrv != nil {
+			store.Mount(metricsSrv)
+			fmt.Fprintf(os.Stderr, "nrscope: history API on http://%s/history/ues\n", metricsSrv.Addr())
+		}
+	}
 	defer closeBus()
 
 	opts := []nrscope.Option{nrscope.WithDCIThreads(*threads)}
@@ -101,8 +132,15 @@ func main() {
 	if b != nil {
 		opts = append(opts, nrscope.WithBus(b))
 	}
+	if *idleHorizon > 0 {
+		opts = append(opts, nrscope.WithIdleHorizon(*idleHorizon))
+	}
 	if *replay != "" {
-		runReplay(*replay, opts)
+		runReplay(*replay, opts, b, store)
+		closeBus() // drain Block subscribers before reading the store
+		if store != nil {
+			printHistorySummary(store)
+		}
 		return
 	}
 
@@ -116,6 +154,15 @@ func main() {
 	}
 	for i := 0; i < *ues; i++ {
 		tb.AttachUE(nrscope.UEProfile{})
+	}
+	cellID := tb.GNB.Config().CellID
+	if store != nil {
+		if err := store.AddCell(cellID, tb.TTI()); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := store.SubscribeTo(b, cellID); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var recorder *capfile.Writer
@@ -152,6 +199,9 @@ func main() {
 		records += len(res.Records)
 		elapsed += res.Elapsed
 		processed++
+		if store != nil && res.Spare != nil {
+			store.IngestSpare(cellID, res.SlotIdx, res.Spare)
+		}
 	}
 	slots := int(*duration / tb.TTI())
 	for i := 0; i < slots; i++ {
@@ -173,6 +223,31 @@ func main() {
 		dl := tb.Scope.Bitrate(rnti, true, tb.GNB.SlotIdx())
 		ul := tb.Scope.Bitrate(rnti, false, tb.GNB.SlotIdx())
 		fmt.Fprintf(os.Stderr, "  ue 0x%04x: DL %.2f Mbps, UL %.2f Mbps\n", rnti, dl/1e6, ul/1e6)
+	}
+	closeBus() // drain Block subscribers before reading the store
+	if store != nil {
+		printHistorySummary(store)
+	}
+}
+
+// printHistorySummary rolls up the history store at the end of a run:
+// the per-cell retained totals, the busiest UEs, and any anomalies.
+func printHistorySummary(store *history.Store) {
+	snap := store.Snapshot()
+	for _, c := range snap.Cells {
+		fmt.Fprintf(os.Stderr, "nrscope: history cell %d: %d UEs, DL %d bits, UL %d bits, %d grants, %d retx in the last %d bins\n",
+			c.Cell, c.UEs, c.DLBits, c.ULBits, c.Grants, c.Retx, snap.Depth)
+	}
+	window := time.Duration(snap.BinMs*float64(snap.Depth)) * time.Millisecond
+	if ranks, err := store.TopK("bits", window, 5); err == nil && len(ranks) > 0 {
+		fmt.Fprintf(os.Stderr, "nrscope: history top UEs by bits:\n")
+		for _, r := range ranks {
+			fmt.Fprintf(os.Stderr, "  ue 0x%04x: %.0f bits\n", r.RNTI, r.Value)
+		}
+	}
+	if anoms := store.Anomalies(); len(anoms) > 0 {
+		fmt.Fprintf(os.Stderr, "nrscope: history flagged %d anomalies (last: %s)\n",
+			len(anoms), anoms[len(anoms)-1].String())
 	}
 }
 
@@ -238,7 +313,7 @@ func setupSinks(specs []string, rotateMB int64, metricsSrv *obs.Server) (*bus.Bu
 // runReplay post-processes a recorded capture file offline (§4: the
 // worker pool's on-demand mode; §7: the post-processing library). The
 // scope publishes through the same bus/sink set as a live run.
-func runReplay(path string, opts []nrscope.Option) {
+func runReplay(path string, opts []nrscope.Option, b *bus.Bus, store *history.Store) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -251,6 +326,14 @@ func runReplay(path string, opts []nrscope.Option) {
 	hdr := r.Header()
 	fmt.Fprintf(os.Stderr, "nrscope: replaying cell %d (%v, %d PRBs) from %s\n",
 		hdr.CellID, hdr.Mu, hdr.NumPRB, path)
+	if store != nil {
+		if err := store.AddCell(hdr.CellID, hdr.Mu.SlotDuration()); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := store.SubscribeTo(b, hdr.CellID); err != nil {
+			log.Fatal(err)
+		}
+	}
 	scope := nrscope.New(hdr.CellID, opts...)
 
 	records, slots, lastSlot := 0, 0, 0
@@ -266,6 +349,9 @@ func runReplay(path string, opts []nrscope.Option) {
 		slots++
 		lastSlot = res.SlotIdx
 		records += len(res.Records)
+		if store != nil && res.Spare != nil {
+			store.IngestSpare(hdr.CellID, res.SlotIdx, res.Spare)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "nrscope: replayed %d slots, %d records, %d UEs tracked\n",
 		slots, records, len(scope.KnownUEs()))

@@ -3,6 +3,10 @@
 // across them and re-rates each share at that UE's own modulation and
 // coding rate, yielding a per-UE spare bitrate an application server
 // could exploit without touching the RAN.
+//
+// The telemetry flows scope -> bus -> internal/history, and the report
+// below is produced entirely from the history query API — the same
+// windowed aggregates GET /history/ue serves over HTTP.
 package main
 
 import (
@@ -10,34 +14,62 @@ import (
 	"time"
 
 	"nrscope"
+	"nrscope/internal/history"
 )
 
 func main() {
-	tb, err := nrscope.NewTestbed(nrscope.MosolabPreset, 7)
+	b := nrscope.NewBus()
+	tb, err := nrscope.NewTestbed(nrscope.MosolabPreset, 7, nrscope.WithBus(b))
 	if err != nil {
 		panic(err)
 	}
 	ue1 := tb.AttachUE(nrscope.UEProfile{Mobility: "static"})
 	ue2 := tb.AttachUE(nrscope.UEProfile{Mobility: "pedestrian"})
 	fmt.Printf("two UEs sharing the cell: 0x%04x (static), 0x%04x (pedestrian)\n", ue1, ue2)
-	fmt.Println("time(s)  UE        used(Mbps)  spare(Mbps)  usedREs  spareREs")
 
+	cellID := tb.GNB.Config().CellID
+	st := history.New(history.Config{BinWidth: 250 * time.Millisecond, Depth: 64})
+	if err := st.AddCell(cellID, tb.TTI()); err != nil {
+		panic(err)
+	}
+	if _, err := st.SubscribeTo(b, cellID); err != nil {
+		panic(err)
+	}
+
+	// DCI records reach the store through the bus; spare-capacity
+	// estimates ride the direct path (they are per-slot derivations,
+	// not bus records).
 	tti := tb.TTI()
-	reportEvery := int(250 * time.Millisecond / tti)
 	tb.RunFor(3*time.Second, func(res *nrscope.SlotResult) {
-		if res.Spare == nil || res.SlotIdx%reportEvery != 0 || res.SlotIdx == 0 {
-			return
-		}
-		spare := res.Spare
-		t := float64(res.SlotIdx) * tti.Seconds()
-		for _, rnti := range []uint16{ue1, ue2} {
-			used := tb.Scope.Bitrate(rnti, true, res.SlotIdx)
-			// Spare bits for this UE in one TTI, scaled to a rate.
-			spareBps := spare.PerUE[rnti] / tti.Seconds()
-			fmt.Printf("%6.2f   0x%04x  %9.2f  %10.2f  %7d  %8d\n",
-				t, rnti, used/1e6, spareBps/1e6, spare.UsedREs, spare.TotalREs-spare.UsedREs)
+		if res.Spare != nil {
+			st.IngestSpare(cellID, res.SlotIdx, res.Spare)
 		}
 	})
+	if err := b.Close(); err != nil { // lossless drain into the store
+		panic(err)
+	}
+
+	fmt.Println("time(s)  UE        used(Mbps)  spare(Mbps)  usedREs  spareREs")
+	slotsPerBin := float64(250*time.Millisecond) / float64(tti)
+	for _, rnti := range []uint16{ue1, ue2} {
+		for _, bin := range st.Query(cellID, rnti, 0, 3000, 1) {
+			if bin.Grants == 0 {
+				continue
+			}
+			// SpareBits is the UE's share summed over the bin's slots;
+			// UsedREs/TotalREs are cell-wide sums — report the per-slot
+			// average to match the paper's per-TTI framing.
+			spareBps := bin.SpareBits / (bin.SpanMs / 1e3)
+			cell := st.CellQuery(cellID, bin.StartMs, bin.StartMs+bin.SpanMs, 1)
+			var usedREs, spareREs float64
+			if len(cell) == 1 && cell[0].TotalREs > 0 {
+				usedREs = float64(cell[0].UsedREs) / slotsPerBin
+				spareREs = float64(cell[0].TotalREs-cell[0].UsedREs) / slotsPerBin
+			}
+			fmt.Printf("%6.2f   0x%04x  %9.2f  %10.2f  %7.0f  %8.0f\n",
+				bin.StartMs/1e3, rnti, bin.DLBps/1e6, spareBps/1e6, usedREs, spareREs)
+		}
+	}
 
 	fmt.Println("\nnote: both UEs get the same spare REs but different spare bitrates —")
 	fmt.Println("their modulation/coding rates differ (paper Fig. 14a).")

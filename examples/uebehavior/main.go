@@ -2,6 +2,11 @@
 // at a busy commercial-style cell with churning users and measure, out
 // of loop, how long UEs stay and how many are scheduled per second —
 // the "come-and-go" pattern of real cellular networks.
+//
+// The scheduled-per-second series (Fig. 11) is computed from the
+// internal/history store's 1-second bins rather than hand-rolled maps:
+// the scope publishes onto the bus, the store folds the stream into
+// windowed aggregates, and the example just queries them.
 package main
 
 import (
@@ -9,8 +14,10 @@ import (
 	"sort"
 	"time"
 
+	"nrscope/internal/bus"
 	"nrscope/internal/channel"
 	"nrscope/internal/core"
+	"nrscope/internal/history"
 	"nrscope/internal/radio"
 	"nrscope/internal/ran"
 )
@@ -26,29 +33,31 @@ func main() {
 	pop.ArrivalsPerSecond = 1.5
 	gnb.SetPopulation(pop)
 
-	rx := radio.NewReceiver(channel.Normal, 16, 99).Reuse(true)
-	scope := core.New(cfg.CellID,
-		core.WithInactivityTimeout(int(2*time.Second/cfg.TTI())))
-
 	duration := 30 * time.Second
-	slots := int(duration / cfg.TTI())
-	perSecond := map[int]map[uint16]bool{}
-	for i := 0; i < slots; i++ {
-		out := gnb.Step()
-		res := scope.ProcessSlot(rx.Capture(out.SlotIdx, out.Ref, out.Grid))
-		sec := int(float64(out.SlotIdx) * cfg.TTI().Seconds())
-		for _, rec := range res.Records {
-			if rec.Common {
-				continue
-			}
-			if perSecond[sec] == nil {
-				perSecond[sec] = map[uint16]bool{}
-			}
-			perSecond[sec][rec.RNTI] = true
-		}
+	b := bus.New()
+	st := history.New(history.Config{BinWidth: time.Second, Depth: 64})
+	if err := st.AddCell(cfg.CellID, cfg.TTI()); err != nil {
+		panic(err)
+	}
+	if _, err := st.SubscribeTo(b, cfg.CellID); err != nil {
+		panic(err)
 	}
 
-	// Session lengths (Fig. 10).
+	rx := radio.NewReceiver(channel.Normal, 16, 99).Reuse(true)
+	scope := core.New(cfg.CellID,
+		core.WithBus(b),
+		core.WithInactivityTimeout(int(2*time.Second/cfg.TTI())))
+
+	slots := int(duration / cfg.TTI())
+	for i := 0; i < slots; i++ {
+		out := gnb.Step()
+		scope.ProcessSlot(rx.Capture(out.SlotIdx, out.Ref, out.Grid))
+	}
+	if err := b.Close(); err != nil { // lossless drain into the store
+		panic(err)
+	}
+
+	// Session lengths (Fig. 10), from the scope's association tracking.
 	var sessions []float64
 	for _, a := range scope.DepartedUEs() {
 		sessions = append(sessions, float64(a.ActiveSlots())*cfg.TTI().Seconds())
@@ -65,13 +74,23 @@ func main() {
 		fmt.Printf("  p90 active time:    %5.1f s  (paper: 90%% of UEs stay < 35 s)\n", sessions[n*9/10])
 	}
 
-	// Scheduled UEs per second (Fig. 11).
+	// Scheduled UEs per second (Fig. 11): every 1 s history bin with at
+	// least one grant marks its UE scheduled in that second.
+	perSecond := map[int64]int{}
+	for _, ue := range st.UEs(cfg.CellID) {
+		for _, bin := range st.Query(cfg.CellID, ue.RNTI, 0, duration.Seconds()*1e3, 1) {
+			if bin.Grants > 0 {
+				perSecond[int64(bin.StartMs/1e3)]++
+			}
+		}
+	}
 	var counts []int
-	for _, m := range perSecond {
-		counts = append(counts, len(m))
+	for _, n := range perSecond {
+		counts = append(counts, n)
 	}
 	sort.Ints(counts)
 	if n := len(counts); n > 0 {
-		fmt.Printf("scheduled UEs per second: median %d, max %d\n", counts[n/2], counts[n-1])
+		fmt.Printf("scheduled UEs per second: median %d, max %d  (%d UE series retained)\n",
+			counts[n/2], counts[n-1], st.TrackedUEs())
 	}
 }

@@ -58,6 +58,18 @@ func WithInactivityTimeout(slots int) Option {
 	}
 }
 
+// WithIdleHorizon expresses UE inactivity eviction as a wall-clock
+// duration instead of slots: once the numerology is known the horizon
+// converts to an inactivity timeout, so live scope, fusion, and history
+// can share one eviction knob. Overrides WithInactivityTimeout.
+func WithIdleHorizon(d time.Duration) Option {
+	return func(s *Scope) {
+		if d > 0 {
+			s.idleHorizon = d
+		}
+	}
+}
+
 // WithThroughputWindow sets the sliding window of the bitrate estimator.
 // Default 100 ms.
 func WithThroughputWindow(d time.Duration) Option {
@@ -148,6 +160,7 @@ type Scope struct {
 	verifyMSG4      bool
 	dmrsGate        bool
 	inactivitySlots int
+	idleHorizon     time.Duration // optional wall-clock form of the above
 	window          time.Duration
 
 	// Acquired cell state.
@@ -188,7 +201,21 @@ func New(cellID uint16, opts ...Option) *Scope {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.mib != nil {
+		s.applyIdleHorizon()
+	}
 	return s
+}
+
+// applyIdleHorizon converts the wall-clock eviction horizon into slots
+// once the numerology (and so the TTI) is known.
+func (s *Scope) applyIdleHorizon() {
+	if s.idleHorizon <= 0 || s.mib == nil {
+		return
+	}
+	if slots := int(s.idleHorizon / s.mib.Mu.SlotDuration()); slots > 0 {
+		s.inactivitySlots = slots
+	}
 }
 
 // CellAcquired reports whether MIB and SIB1 are both decoded.
@@ -272,6 +299,7 @@ func (s *Scope) merge(res *decodeResult) *SlotResult {
 		s.commonCfg = dci.Config{BWPPRBs: s.coreset.NumPRB, TimeAllocRows: len(phy.DefaultTimeAllocTable), MaxHARQ: 16}
 		out.MIBAcquired = true
 		met.mibAcquired.Inc()
+		s.applyIdleHorizon()
 	}
 	if res.sib1 != nil && s.sib1 == nil {
 		s.sib1 = res.sib1
@@ -355,6 +383,14 @@ func (s *Scope) merge(res *decodeResult) *SlotResult {
 		out.Spare = s.spareCapacity(res.slotIdx, usedREs)
 	}
 
+	if s.mib != nil {
+		// Stamp slot time in ms on every outgoing record, so history
+		// bins and external JSON consumers share one time base.
+		ttiMS := s.mib.Mu.SlotDuration().Seconds() * 1e3
+		for i := range out.Records {
+			out.Records[i].TMs = float64(out.Records[i].SlotIdx) * ttiMS
+		}
+	}
 	s.purgeInactive(res.slotIdx)
 	met.uesTracked.Set(int64(len(s.ues)))
 	if s.bus != nil {
@@ -405,6 +441,11 @@ func (s *Scope) purgeInactive(slotIdx int) {
 		if slotIdx-track.LastSeen > s.inactivitySlots {
 			s.departed = append(s.departed, UEActivity{RNTI: rnti, FirstSeen: track.FirstSeen, LastSeen: track.LastSeen})
 			delete(s.ues, rnti)
+			if s.estimator != nil {
+				// The C-RNTI may be reassigned; its flow windows must
+				// not survive the session (unbounded growth otherwise).
+				s.estimator.Remove(rnti)
+			}
 			continue
 		}
 		kept = append(kept, rnti)

@@ -86,6 +86,11 @@ type Aggregator struct {
 	HandoverWindow time.Duration
 	// MinSessionBits filters noise sessions from handover matching.
 	MinSessionBits int64
+	// IdleHorizon evicts per-cell UE activity idle longer than this, so
+	// the ues maps stay bounded under C-RNTI churn (0 disables; keep it
+	// well above HandoverWindow or departures can no longer be matched
+	// to arrivals on neighbour cells).
+	IdleHorizon time.Duration
 
 	handovers []Handover
 	merged    []TimedRecord
@@ -108,6 +113,7 @@ func New() *Aggregator {
 		cells:          make(map[uint16]*cellState),
 		HandoverWindow: 500 * time.Millisecond,
 		MinSessionBits: 10000,
+		IdleHorizon:    5 * time.Minute,
 	}
 }
 
@@ -141,6 +147,9 @@ func (a *Aggregator) Ingest(cellID uint16, rec telemetry.Record) error {
 	at := time.Duration(rec.SlotIdx) * c.tti
 	a.merged = append(a.merged, TimedRecord{Cell: cellID, At: at, Rec: rec})
 	c.records++
+	if a.IdleHorizon > 0 && c.records%512 == 0 {
+		c.evictIdle(at - a.IdleHorizon)
+	}
 	if a.bus != nil {
 		_ = a.bus.Publish(rec) // closed bus: the aggregate still holds the record
 	}
@@ -163,6 +172,18 @@ func (a *Aggregator) Ingest(cellID uint16, rec telemetry.Record) error {
 		c.bits += int64(rec.TBS)
 	}
 	return nil
+}
+
+// evictIdle drops UE activity last seen before the cutoff. Sweeping
+// every few hundred records amortizes the map walk; evicted sessions
+// are older than the idle horizon, so (with the horizon above the
+// handover window) they could no longer match an arrival anyway.
+func (c *cellState) evictIdle(cutoff time.Duration) {
+	for rnti, u := range c.ues {
+		if u.lastSeen < cutoff {
+			delete(c.ues, rnti)
+		}
+	}
 }
 
 // matchHandover looks for the best recently-departed session elsewhere.
@@ -331,8 +352,9 @@ func (a *Aggregator) CellLoad(cellID uint16) (float64, error) {
 	return float64(c.bits) / span.Seconds(), nil
 }
 
-// ActiveUEs reports how many UEs a cell has seen in total and within
-// the trailing window ending at now.
+// ActiveUEs reports how many UE sessions a cell retains (sessions idle
+// past IdleHorizon are evicted) and how many were active within the
+// trailing window ending at now.
 func (a *Aggregator) ActiveUEs(cellID uint16, now, window time.Duration) (total, recent int, err error) {
 	c := a.cells[cellID]
 	if c == nil {

@@ -188,3 +188,50 @@ func TestHandoverStringer(t *testing.T) {
 		t.Errorf("stringer output %q", s)
 	}
 }
+
+// TestUEMapBoundedUnderChurn: a long-lived scope cycling through many
+// distinct C-RNTIs must not grow the per-cell activity map without
+// bound — sessions idle past the horizon are swept out.
+func TestUEMapBoundedUnderChurn(t *testing.T) {
+	a := New()
+	if err := a.AddCell(1, phy.Mu0); err != nil { // 1 ms slots
+		t.Fatal(err)
+	}
+	a.IdleHorizon = time.Second
+	// 20k distinct RNTIs, each active for one slot, one every 2 ms:
+	// only ~500 can fall within any 1 s horizon.
+	const churn = 20000
+	for i := 0; i < churn; i++ {
+		if err := a.Ingest(1, rec(i*2, uint16(i%60000), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(a.cells[1].ues); n > 1200 {
+		t.Errorf("ue map holds %d sessions after churn, want <= 1200 (horizon %v)", n, a.IdleHorizon)
+	}
+	total, _, err := a.ActiveUEs(1, time.Duration(churn*2)*time.Millisecond, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total > 1200 {
+		t.Errorf("ActiveUEs total = %d after churn, want <= 1200", total)
+	}
+}
+
+// TestIdleHorizonDisabled: IdleHorizon <= 0 keeps every session (the
+// pre-eviction behaviour, for offline multi-cell analyses).
+func TestIdleHorizonDisabled(t *testing.T) {
+	a := New()
+	if err := a.AddCell(1, phy.Mu0); err != nil {
+		t.Fatal(err)
+	}
+	a.IdleHorizon = 0
+	for i := 0; i < 2048; i++ {
+		if err := a.Ingest(1, rec(i*2, uint16(i), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(a.cells[1].ues); n != 2048 {
+		t.Errorf("ue map holds %d sessions, want all 2048 with eviction off", n)
+	}
+}

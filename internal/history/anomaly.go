@@ -1,0 +1,170 @@
+package history
+
+// The first anomaly layer over the history store: when a UE's bin
+// closes, its retx rate and throughput are compared against a trailing
+// EWMA baseline. A retx rate far above baseline flags a retx spike
+// (interference, cell-edge mobility); throughput falling to a small
+// fraction of a substantial baseline flags a throughput collapse (the
+// cross-layer misbehavior-detection substrate of Ganiuly et al.).
+// Anomalies are counted via internal/obs and retained in a bounded ring
+// queryable through Anomalies() and GET /history/anomalies.
+
+import "fmt"
+
+// AnomalyConfig tunes the detector. Zero values take defaults.
+type AnomalyConfig struct {
+	// Alpha is the EWMA smoothing factor (default 0.3).
+	Alpha float64
+	// RetxRateMin is the absolute retx-rate floor a bin must exceed to
+	// be a spike candidate (default 0.3).
+	RetxRateMin float64
+	// RetxSpikeFactor is how far above the EWMA baseline the rate must
+	// be (default 3x).
+	RetxSpikeFactor float64
+	// MinGrants is the minimum grants in a bin for its retx rate to be
+	// meaningful (default 4).
+	MinGrants int64
+	// CollapseFraction: throughput below this fraction of baseline is
+	// a collapse (default 0.25).
+	CollapseFraction float64
+	// TputFloorBits: baselines below this many bits/bin never flag a
+	// collapse — an idle UE is not a collapsed UE (default 10000).
+	TputFloorBits float64
+}
+
+func (a AnomalyConfig) withDefaults() AnomalyConfig {
+	if a.Alpha <= 0 || a.Alpha > 1 {
+		a.Alpha = 0.3
+	}
+	if a.RetxRateMin <= 0 {
+		a.RetxRateMin = 0.3
+	}
+	if a.RetxSpikeFactor <= 0 {
+		a.RetxSpikeFactor = 3
+	}
+	if a.MinGrants <= 0 {
+		a.MinGrants = 4
+	}
+	if a.CollapseFraction <= 0 {
+		a.CollapseFraction = 0.25
+	}
+	if a.TputFloorBits <= 0 {
+		a.TputFloorBits = 10000
+	}
+	return a
+}
+
+// Anomaly kinds.
+const (
+	KindRetxSpike    = "retx_spike"
+	KindTputCollapse = "tput_collapse"
+)
+
+// Anomaly is one flagged event.
+type Anomaly struct {
+	Cell uint16 `json:"cell"`
+	RNTI uint16 `json:"rnti"`
+	Kind string `json:"kind"`
+	// AtMs is the start of the offending bin, in ms.
+	AtMs float64 `json:"t_ms"`
+	// Value is the observed metric (retx rate, or bits in the bin).
+	Value float64 `json:"value"`
+	// Baseline is the trailing EWMA the value was judged against.
+	Baseline float64 `json:"baseline"`
+}
+
+// String formats an anomaly for log lines.
+func (a Anomaly) String() string {
+	return fmt.Sprintf("%s cell=%d ue=0x%04x t=%.0fms value=%.3g baseline=%.3g",
+		a.Kind, a.Cell, a.RNTI, a.AtMs, a.Value, a.Baseline)
+}
+
+// anomalyState is the per-UE trailing baseline.
+type anomalyState struct {
+	init      bool
+	ewmaRetx  float64 // retx rate baseline (updated on bins with grants)
+	ewmaTput  float64 // bits/bin baseline (updated on every closed bin)
+	collapsed bool    // latch: one collapse flag per silence episode
+}
+
+// binClosed runs the detector on a UE's freshly closed bin. Called with
+// the store lock held, from the ingest path's series.advance.
+func (st *Store) binClosed(u *ueSeries, b Bin, binIdx int64) {
+	cfg := st.cfg.Anomaly
+	a := &u.anom
+	rate := 0.0
+	if b.Grants > 0 {
+		rate = float64(b.Retx) / float64(b.Grants)
+	}
+	bits := float64(b.DLBits + b.ULBits)
+
+	if a.init {
+		if b.Grants >= cfg.MinGrants && rate >= cfg.RetxRateMin && rate >= cfg.RetxSpikeFactor*a.ewmaRetx {
+			st.anoms.add(Anomaly{
+				Cell: u.key.cell, RNTI: u.key.rnti, Kind: KindRetxSpike,
+				AtMs: float64(binIdx) * st.binMS, Value: rate, Baseline: a.ewmaRetx,
+			})
+			met.retxSpikes.Inc()
+		}
+		if a.ewmaTput >= cfg.TputFloorBits && bits <= cfg.CollapseFraction*a.ewmaTput {
+			if !a.collapsed {
+				a.collapsed = true
+				st.anoms.add(Anomaly{
+					Cell: u.key.cell, RNTI: u.key.rnti, Kind: KindTputCollapse,
+					AtMs: float64(binIdx) * st.binMS, Value: bits, Baseline: a.ewmaTput,
+				})
+				met.tputCollapses.Inc()
+			}
+		} else {
+			a.collapsed = false
+		}
+	}
+
+	if !a.init {
+		a.init = true
+		a.ewmaRetx = rate
+		a.ewmaTput = bits
+		return
+	}
+	if b.Grants > 0 {
+		a.ewmaRetx = cfg.Alpha*rate + (1-cfg.Alpha)*a.ewmaRetx
+	}
+	a.ewmaTput = cfg.Alpha*bits + (1-cfg.Alpha)*a.ewmaTput
+}
+
+// anomalyRing is a bounded FIFO of flagged anomalies.
+type anomalyRing struct {
+	buf  []Anomaly
+	head int // next write position once full
+	n    int
+}
+
+func newAnomalyRing(depth int) anomalyRing {
+	return anomalyRing{buf: make([]Anomaly, depth)}
+}
+
+func (r *anomalyRing) add(a Anomaly) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = a
+		r.n++
+		return
+	}
+	r.buf[r.head] = a
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// snapshot returns the retained anomalies, oldest first.
+func (r *anomalyRing) snapshot() []Anomaly {
+	out := make([]Anomaly, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.head+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Anomalies returns the retained anomaly events, oldest first.
+func (st *Store) Anomalies() []Anomaly {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.anoms.snapshot()
+}

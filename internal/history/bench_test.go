@@ -1,0 +1,50 @@
+package history
+
+import (
+	"testing"
+	"time"
+
+	"nrscope/internal/telemetry"
+)
+
+// BenchmarkHistoryIngest measures the steady-state ingest rate with 10k
+// tracked UEs — the CI bench artifact's records/s + allocs/record
+// number for the store's hot path.
+func BenchmarkHistoryIngest(b *testing.B) {
+	st := New(Config{BinWidth: 100 * time.Millisecond, Depth: 64, MaxUEs: 10000})
+	if err := st.AddCell(1, 500*time.Microsecond); err != nil {
+		b.Fatal(err)
+	}
+	const ues = 10000
+	for i := 0; i < ues; i++ {
+		st.Ingest(1, telemetry.Record{TMs: float64(i) * 0.01, RNTI: uint16(i), Downlink: true, TBS: 1000, MCS: 10, NumPRB: 4})
+	}
+	rec := telemetry.Record{Downlink: true, TBS: 1000, MCS: 10, NumPRB: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.RNTI = uint16(i % ues)
+		rec.TMs = 100 + float64(i)*0.001
+		rec.IsRetx = i%16 == 0
+		st.Ingest(1, rec)
+	}
+}
+
+// BenchmarkHistoryQuery measures a windowed UE query against a busy
+// store (read path under the ingest write lock's contention profile).
+func BenchmarkHistoryQuery(b *testing.B) {
+	st := New(Config{BinWidth: 100 * time.Millisecond, Depth: 64, MaxUEs: 10000})
+	if err := st.AddCell(1, 500*time.Microsecond); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200000; i++ {
+		st.Ingest(1, telemetry.Record{TMs: float64(i) * 0.01, RNTI: uint16(i % 1000), Downlink: true, TBS: 1000, MCS: 10, NumPRB: 4})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bins := st.QueryWindow(1, uint16(i%1000), time.Second, 1); len(bins) == 0 {
+			b.Fatal("empty query")
+		}
+	}
+}

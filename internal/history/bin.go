@@ -1,0 +1,149 @@
+package history
+
+import "nrscope/internal/telemetry"
+
+// Bin is one bin-width of aggregated telemetry for a series (a UE's, or
+// the whole cell's). Sums are kept raw; rates and means are derived at
+// query time (BinSample) so downsampling stays a pure sum-merge.
+type Bin struct {
+	DLBits   int64
+	ULBits   int64
+	Grants   int64
+	Retx     int64
+	PRBs     int64
+	MCSSum   int64
+	MCSCount int64
+	MCSMin   int
+	MCSMax   int
+	// SpareBits is the UE's accumulated §5.4.1 fair-share spare
+	// capacity across the bin's TTIs (UE series only).
+	SpareBits float64
+	// UsedREs/TotalREs accumulate the cell's RE budget accounting
+	// (cell series only).
+	UsedREs  int64
+	TotalREs int64
+}
+
+// addRecord folds one telemetry record into the bin.
+func (b *Bin) addRecord(rec telemetry.Record) {
+	b.Grants++
+	b.PRBs += int64(rec.NumPRB)
+	if rec.IsRetx {
+		b.Retx++
+	} else if rec.Downlink {
+		b.DLBits += int64(rec.TBS)
+	} else {
+		b.ULBits += int64(rec.TBS)
+	}
+	if b.MCSCount == 0 || rec.MCS < b.MCSMin {
+		b.MCSMin = rec.MCS
+	}
+	if b.MCSCount == 0 || rec.MCS > b.MCSMax {
+		b.MCSMax = rec.MCS
+	}
+	b.MCSSum += int64(rec.MCS)
+	b.MCSCount++
+}
+
+// merge folds another bin's sums into b (downsampling).
+func (b *Bin) merge(o Bin) {
+	b.DLBits += o.DLBits
+	b.ULBits += o.ULBits
+	b.Grants += o.Grants
+	b.Retx += o.Retx
+	b.PRBs += o.PRBs
+	if o.MCSCount > 0 {
+		if b.MCSCount == 0 || o.MCSMin < b.MCSMin {
+			b.MCSMin = o.MCSMin
+		}
+		if b.MCSCount == 0 || o.MCSMax > b.MCSMax {
+			b.MCSMax = o.MCSMax
+		}
+		b.MCSSum += o.MCSSum
+		b.MCSCount += o.MCSCount
+	}
+	b.SpareBits += o.SpareBits
+	b.UsedREs += o.UsedREs
+	b.TotalREs += o.TotalREs
+}
+
+// series is a fixed-capacity ring of consecutive bins. bins[head] is
+// the newest bin, covering bin index curIdx; older bins sit behind it.
+type series struct {
+	bins   []Bin
+	head   int
+	n      int
+	curIdx int64
+}
+
+func newSeries(depth int) series {
+	return series{bins: make([]Bin, depth)}
+}
+
+// advance positions the ring at bin index idx and returns the bin to
+// write into. Moving forward closes intervening bins (invoking onClose
+// for each, newest-gap walk capped at the ring depth); a late index
+// still inside the ring returns its retained bin; one older than the
+// ring returns nil.
+func (s *series) advance(idx int64, onClose func(b Bin, binIdx int64)) *Bin {
+	depth := len(s.bins)
+	if s.n == 0 {
+		s.head, s.n, s.curIdx = 0, 1, idx
+		s.bins[0] = Bin{}
+		return &s.bins[0]
+	}
+	if idx <= s.curIdx {
+		back := s.curIdx - idx
+		if back >= int64(s.n) {
+			return nil
+		}
+		pos := s.head - int(back)
+		if pos < 0 {
+			pos += depth
+		}
+		return &s.bins[pos]
+	}
+	if gap := idx - s.curIdx; gap >= int64(depth) {
+		// The whole retained window is silence: close the current bin,
+		// zero the ring, and jump — never walk an unbounded gap.
+		if onClose != nil {
+			onClose(s.bins[s.head], s.curIdx)
+		}
+		for i := range s.bins {
+			s.bins[i] = Bin{}
+		}
+		s.head = 0
+		s.n = depth
+		s.curIdx = idx
+		return &s.bins[0]
+	}
+	for s.curIdx < idx {
+		if onClose != nil {
+			onClose(s.bins[s.head], s.curIdx)
+		}
+		s.head++
+		if s.head == depth {
+			s.head = 0
+		}
+		s.bins[s.head] = Bin{}
+		if s.n < depth {
+			s.n++
+		}
+		s.curIdx++
+	}
+	return &s.bins[s.head]
+}
+
+// oldestIdx returns the bin index of the oldest retained bin.
+func (s *series) oldestIdx() int64 { return s.curIdx - int64(s.n) + 1 }
+
+// at returns the retained bin for binIdx (valid only for indices in
+// [oldestIdx, curIdx]).
+func (s *series) at(binIdx int64) Bin {
+	back := s.curIdx - binIdx
+	pos := s.head - int(back)
+	if pos < 0 {
+		pos += len(s.bins)
+	}
+	return s.bins[pos]
+}

@@ -1,0 +1,288 @@
+// Package history is the queryable UE session-history store: it
+// subscribes to the telemetry bus (Block policy, so it is lossless) and
+// maintains, per cell and per C-RNTI, fixed-capacity ring-buffer time
+// series of windowed aggregates — DL/UL bits, grant and retx counts,
+// MCS min/avg/max, PRBs, spare-capacity share — at a configurable bin
+// width (default 100 ms).
+//
+// The paper's headline use case feeds per-UE telemetry back to
+// applications faster than half an RTT; this package is the read-side
+// state that makes the feed *queryable*: "what was UE 0x4601's
+// throughput over the last 2 s", "which UEs saw a retx spike". Memory
+// is strictly bounded: each series retains Depth bins, at most MaxUEs
+// UE series exist process-wide (idle-LRU eviction), and an optional
+// idle horizon ages out silent sessions — so the store survives the
+// ROADMAP's "millions of users" churn without growing without bound.
+//
+// On top of the store sit a Go query API (Query, TopK, Snapshot, UEs,
+// Anomalies), an HTTP JSON API (http.go) mounted next to /metrics, and
+// a first anomaly layer (anomaly.go) flagging per-UE retx-rate spikes
+// and throughput collapse against a trailing EWMA baseline.
+package history
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"nrscope/internal/bus"
+	"nrscope/internal/telemetry"
+)
+
+// Config tunes a Store. The zero value is usable: every field defaults
+// sensibly in New.
+type Config struct {
+	// BinWidth is the aggregation bin width (default 100 ms).
+	BinWidth time.Duration
+	// Depth is how many bins each series retains (default 600 — one
+	// minute of history at the default bin width).
+	Depth int
+	// MaxUEs caps the number of UE series across all cells; beyond it
+	// the least-recently-seen UE is evicted (default 10000).
+	MaxUEs int
+	// IdleHorizon evicts UE series idle longer than this, independent
+	// of the LRU cap (0 = LRU-only).
+	IdleHorizon time.Duration
+	// AnomalyDepth is the anomaly ring capacity (default 256).
+	AnomalyDepth int
+	// Anomaly thresholds; see anomaly.go (zero = defaults).
+	Anomaly AnomalyConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.BinWidth <= 0 {
+		c.BinWidth = 100 * time.Millisecond
+	}
+	if c.Depth <= 0 {
+		c.Depth = 600
+	}
+	if c.MaxUEs <= 0 {
+		c.MaxUEs = 10000
+	}
+	if c.AnomalyDepth <= 0 {
+		c.AnomalyDepth = 256
+	}
+	c.Anomaly = c.Anomaly.withDefaults()
+	return c
+}
+
+// ueKey identifies one C-RNTI on one cell (C-RNTIs are cell-local).
+type ueKey struct {
+	cell uint16
+	rnti uint16
+}
+
+// ueSeries is one UE's retained history plus its anomaly state.
+type ueSeries struct {
+	key     ueKey
+	series  series
+	lastTMs float64
+	elem    *list.Element // position in the store's LRU list
+
+	// close is allocated once at series creation so the ingest hot
+	// path passes a preexisting func value (no per-record closure).
+	close func(b Bin, binIdx int64)
+
+	anom anomalyState
+}
+
+// cellHistory is one monitored cell: its slot duration (for records
+// that predate the t_ms field) and the cell-level aggregate series.
+type cellHistory struct {
+	id     uint16
+	ttiMS  float64
+	series series
+}
+
+// Store is the session-history store. All methods are safe for
+// concurrent use; ingest takes a write lock, queries a read lock.
+type Store struct {
+	cfg   Config
+	binMS float64
+
+	mu      sync.RWMutex
+	cells   map[uint16]*cellHistory
+	ues     map[ueKey]*ueSeries
+	lru     *list.List // front = most recently seen UE
+	anoms   anomalyRing
+	lastTMs float64 // newest record time seen (ms)
+}
+
+// New creates a store with the given configuration.
+func New(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	return &Store{
+		cfg:   cfg,
+		binMS: float64(cfg.BinWidth) / float64(time.Millisecond),
+		cells: make(map[uint16]*cellHistory),
+		ues:   make(map[ueKey]*ueSeries),
+		lru:   list.New(),
+		anoms: newAnomalyRing(cfg.AnomalyDepth),
+	}
+}
+
+// BinWidth returns the store's bin width.
+func (st *Store) BinWidth() time.Duration { return st.cfg.BinWidth }
+
+// AddCell registers a monitored cell. tti is the cell's slot duration,
+// used to derive bin time for records without a t_ms stamp.
+func (st *Store) AddCell(cellID uint16, tti time.Duration) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.cells[cellID]; dup {
+		return fmt.Errorf("history: cell %d already registered", cellID)
+	}
+	st.cells[cellID] = &cellHistory{
+		id:     cellID,
+		ttiMS:  float64(tti) / float64(time.Millisecond),
+		series: newSeries(st.cfg.Depth),
+	}
+	return nil
+}
+
+// SubscribeTo attaches the store to a bus as a lossless (Block policy)
+// subscriber feeding Ingest for cellID. The returned subscription is
+// drained in full when the bus closes.
+func (st *Store) SubscribeTo(b *bus.Bus, cellID uint16) (*bus.Subscription, error) {
+	return b.Subscribe("history", bus.Block, bus.SinkFunc(func(recs []telemetry.Record) error {
+		for _, r := range recs {
+			st.Ingest(cellID, r)
+		}
+		return nil
+	}))
+}
+
+// Ingest folds one record into the cell's and (unless the record is a
+// common-search-space broadcast) the UE's current bin. The hot path is
+// allocation-free for already-tracked UEs.
+func (st *Store) Ingest(cellID uint16, rec telemetry.Record) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c := st.cells[cellID]
+	if c == nil {
+		met.dropped.Inc()
+		return
+	}
+	tms := rec.TMs
+	if tms <= 0 {
+		tms = float64(rec.SlotIdx) * c.ttiMS
+	}
+	if tms > st.lastTMs {
+		st.lastTMs = tms
+	}
+	idx := int64(tms / st.binMS)
+	met.ingested.Inc()
+
+	if cb := c.series.advance(idx, nil); cb != nil {
+		cb.addRecord(rec)
+	} else {
+		met.late.Inc()
+	}
+	if rec.Common {
+		return
+	}
+	k := ueKey{cellID, rec.RNTI}
+	u := st.ues[k]
+	if u == nil {
+		u = st.addUE(k)
+	}
+	st.lru.MoveToFront(u.elem)
+	u.lastTMs = tms
+	if ub := u.series.advance(idx, u.close); ub != nil {
+		ub.addRecord(rec)
+	} else {
+		met.late.Inc()
+	}
+	if st.cfg.IdleHorizon > 0 {
+		st.evictIdleLocked(tms)
+	}
+}
+
+// IngestSpare folds one TTI's §5.4.1 spare-capacity split into the
+// history: per-UE fair-share spare bits onto each tracked UE's bin, and
+// the cell's used/total RE accounting onto the cell bin. Spare data
+// never creates a UE series (a UE history starts at its first DCI).
+func (st *Store) IngestSpare(cellID uint16, slotIdx int, sp *telemetry.SpareCapacity) {
+	if sp == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c := st.cells[cellID]
+	if c == nil {
+		met.dropped.Inc()
+		return
+	}
+	tms := float64(slotIdx) * c.ttiMS
+	if tms > st.lastTMs {
+		st.lastTMs = tms
+	}
+	idx := int64(tms / st.binMS)
+	if cb := c.series.advance(idx, nil); cb != nil {
+		cb.UsedREs += int64(sp.UsedREs)
+		cb.TotalREs += int64(sp.TotalREs)
+	}
+	for rnti, bits := range sp.PerUE {
+		u := st.ues[ueKey{cellID, rnti}]
+		if u == nil {
+			continue
+		}
+		if ub := u.series.advance(idx, u.close); ub != nil {
+			ub.SpareBits += bits
+		}
+	}
+}
+
+// addUE creates a UE series, evicting the least-recently-seen UE first
+// if the store is at its cap.
+func (st *Store) addUE(k ueKey) *ueSeries {
+	if len(st.ues) >= st.cfg.MaxUEs {
+		if back := st.lru.Back(); back != nil {
+			st.evictLocked(back.Value.(*ueSeries))
+		}
+	}
+	u := &ueSeries{key: k, series: newSeries(st.cfg.Depth)}
+	u.close = func(b Bin, binIdx int64) { st.binClosed(u, b, binIdx) }
+	u.elem = st.lru.PushFront(u)
+	st.ues[k] = u
+	met.tracked.Set(int64(len(st.ues)))
+	return u
+}
+
+// evictIdleLocked ages out UEs idle past the horizon, oldest first.
+func (st *Store) evictIdleLocked(nowMs float64) {
+	horizonMS := float64(st.cfg.IdleHorizon) / float64(time.Millisecond)
+	for {
+		back := st.lru.Back()
+		if back == nil {
+			return
+		}
+		u := back.Value.(*ueSeries)
+		if nowMs-u.lastTMs <= horizonMS {
+			return
+		}
+		st.evictLocked(u)
+	}
+}
+
+func (st *Store) evictLocked(u *ueSeries) {
+	st.lru.Remove(u.elem)
+	delete(st.ues, u.key)
+	met.evicted.Inc()
+	met.tracked.Set(int64(len(st.ues)))
+}
+
+// TrackedUEs reports how many UE series the store currently holds.
+func (st *Store) TrackedUEs() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.ues)
+}
+
+// LastMs returns the newest record time the store has seen, in ms.
+func (st *Store) LastMs() float64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.lastTMs
+}

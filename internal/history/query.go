@@ -1,0 +1,289 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// BinSample is one query-result bin: the retained sums plus derived
+// rates, in JSON form for both the Go and HTTP query APIs.
+type BinSample struct {
+	// StartMs/SpanMs delimit the sample: [StartMs, StartMs+SpanMs).
+	StartMs   float64 `json:"start_ms"`
+	SpanMs    float64 `json:"span_ms"`
+	DLBits    int64   `json:"dl_bits"`
+	ULBits    int64   `json:"ul_bits"`
+	Grants    int64   `json:"grants"`
+	Retx      int64   `json:"retx"`
+	RetxRate  float64 `json:"retx_rate"`
+	PRBs      int64   `json:"prbs"`
+	MCSMin    int     `json:"mcs_min"`
+	MCSAvg    float64 `json:"mcs_avg"`
+	MCSMax    int     `json:"mcs_max"`
+	DLBps     float64 `json:"dl_bps"`
+	ULBps     float64 `json:"ul_bps"`
+	SpareBits float64 `json:"spare_bits,omitempty"`
+	UsedREs   int64   `json:"used_res,omitempty"`
+	TotalREs  int64   `json:"total_res,omitempty"`
+}
+
+func (st *Store) sample(b Bin, startMs, spanMs float64) BinSample {
+	s := BinSample{
+		StartMs: startMs, SpanMs: spanMs,
+		DLBits: b.DLBits, ULBits: b.ULBits,
+		Grants: b.Grants, Retx: b.Retx, PRBs: b.PRBs,
+		SpareBits: b.SpareBits, UsedREs: b.UsedREs, TotalREs: b.TotalREs,
+	}
+	if b.Grants > 0 {
+		s.RetxRate = float64(b.Retx) / float64(b.Grants)
+	}
+	if b.MCSCount > 0 {
+		s.MCSMin = b.MCSMin
+		s.MCSMax = b.MCSMax
+		s.MCSAvg = float64(b.MCSSum) / float64(b.MCSCount)
+	}
+	if spanMs > 0 {
+		s.DLBps = float64(b.DLBits) / (spanMs / 1e3)
+		s.ULBps = float64(b.ULBits) / (spanMs / 1e3)
+	}
+	return s
+}
+
+// querySeries extracts [fromMs, toMs) from a series, merging groups of
+// `downsample` consecutive bins (1 = raw bins). Caller holds st.mu.
+func (st *Store) querySeries(s *series, fromMs, toMs float64, downsample int) []BinSample {
+	if s.n == 0 {
+		return nil
+	}
+	if downsample < 1 {
+		downsample = 1
+	}
+	if toMs <= 0 {
+		toMs = float64(s.curIdx+1) * st.binMS
+	}
+	first := s.oldestIdx()
+	last := s.curIdx
+	if fromMs > 0 {
+		if i := int64(fromMs / st.binMS); i > first {
+			first = i
+		}
+	}
+	if i := int64((toMs - 1e-9) / st.binMS); i < last {
+		last = i
+	}
+	if first > last {
+		return nil
+	}
+	out := make([]BinSample, 0, int(last-first+1+int64(downsample)-1)/downsample)
+	for idx := first; idx <= last; idx += int64(downsample) {
+		var acc Bin
+		span := int64(0)
+		for j := idx; j <= last && j < idx+int64(downsample); j++ {
+			acc.merge(s.at(j))
+			span++
+		}
+		out = append(out, st.sample(acc, float64(idx)*st.binMS, float64(span)*st.binMS))
+	}
+	return out
+}
+
+// Query returns a UE's windowed aggregates over [fromMs, toMs), oldest
+// first, merging `downsample` bins per sample (toMs <= 0 means "up to
+// now"; fromMs <= 0 means "from the oldest retained bin"). A nil slice
+// means the UE is unknown (or its history has no bins in range).
+func (st *Store) Query(cellID, rnti uint16, fromMs, toMs float64, downsample int) []BinSample {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	met.queries.Inc()
+	u := st.ues[ueKey{cellID, rnti}]
+	if u == nil {
+		return nil
+	}
+	return st.querySeries(&u.series, fromMs, toMs, downsample)
+}
+
+// QueryWindow is Query over the trailing window ending at the newest
+// record the store has seen.
+func (st *Store) QueryWindow(cellID, rnti uint16, window time.Duration, downsample int) []BinSample {
+	from := st.LastMs() - float64(window)/float64(time.Millisecond)
+	if from < 0 {
+		from = 0
+	}
+	return st.Query(cellID, rnti, from, 0, downsample)
+}
+
+// CellQuery returns the cell-level aggregate series over [fromMs, toMs).
+func (st *Store) CellQuery(cellID uint16, fromMs, toMs float64, downsample int) []BinSample {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	met.queries.Inc()
+	c := st.cells[cellID]
+	if c == nil {
+		return nil
+	}
+	return st.querySeries(&c.series, fromMs, toMs, downsample)
+}
+
+// UERank is one TopK result row.
+type UERank struct {
+	Cell  uint16  `json:"cell"`
+	RNTI  uint16  `json:"rnti"`
+	Value float64 `json:"value"`
+}
+
+// TopK ranks tracked UEs (across all cells) by a metric summed over the
+// trailing window: "dl_bits", "ul_bits", "bits", "grants", "retx",
+// "retx_rate", "prbs", "spare_bits".
+func (st *Store) TopK(metric string, window time.Duration, k int) ([]UERank, error) {
+	extract, err := metricFunc(metric)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	met.queries.Inc()
+	fromIdx := int64((st.lastTMs - float64(window)/float64(time.Millisecond)) / st.binMS)
+	ranks := make([]UERank, 0, len(st.ues))
+	for key, u := range st.ues {
+		var acc Bin
+		first := u.series.oldestIdx()
+		if fromIdx > first {
+			first = fromIdx
+		}
+		for idx := first; idx <= u.series.curIdx && u.series.n > 0; idx++ {
+			acc.merge(u.series.at(idx))
+		}
+		ranks = append(ranks, UERank{Cell: key.cell, RNTI: key.rnti, Value: extract(acc)})
+	}
+	sort.Slice(ranks, func(i, j int) bool {
+		if ranks[i].Value != ranks[j].Value {
+			return ranks[i].Value > ranks[j].Value
+		}
+		return ranks[i].RNTI < ranks[j].RNTI
+	})
+	if k > 0 && len(ranks) > k {
+		ranks = ranks[:k]
+	}
+	return ranks, nil
+}
+
+func metricFunc(metric string) (func(Bin) float64, error) {
+	switch metric {
+	case "dl_bits":
+		return func(b Bin) float64 { return float64(b.DLBits) }, nil
+	case "ul_bits":
+		return func(b Bin) float64 { return float64(b.ULBits) }, nil
+	case "bits":
+		return func(b Bin) float64 { return float64(b.DLBits + b.ULBits) }, nil
+	case "grants":
+		return func(b Bin) float64 { return float64(b.Grants) }, nil
+	case "retx":
+		return func(b Bin) float64 { return float64(b.Retx) }, nil
+	case "retx_rate":
+		return func(b Bin) float64 {
+			if b.Grants == 0 {
+				return 0
+			}
+			return float64(b.Retx) / float64(b.Grants)
+		}, nil
+	case "prbs":
+		return func(b Bin) float64 { return float64(b.PRBs) }, nil
+	case "spare_bits":
+		return func(b Bin) float64 { return b.SpareBits }, nil
+	default:
+		return nil, fmt.Errorf("history: unknown metric %q", metric)
+	}
+}
+
+// UESummary is one tracked UE's rolled-up retained history.
+type UESummary struct {
+	Cell   uint16  `json:"cell"`
+	RNTI   uint16  `json:"rnti"`
+	LastMs float64 `json:"last_ms"`
+	Bins   int     `json:"bins"`
+	DLBits int64   `json:"dl_bits"`
+	ULBits int64   `json:"ul_bits"`
+	Grants int64   `json:"grants"`
+	Retx   int64   `json:"retx"`
+}
+
+// UEs lists the tracked UEs of a cell with rolled-up totals over their
+// retained bins, ordered by RNTI.
+func (st *Store) UEs(cellID uint16) []UESummary {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	met.queries.Inc()
+	out := make([]UESummary, 0, len(st.ues))
+	for key, u := range st.ues {
+		if key.cell != cellID {
+			continue
+		}
+		var acc Bin
+		for idx := u.series.oldestIdx(); idx <= u.series.curIdx && u.series.n > 0; idx++ {
+			acc.merge(u.series.at(idx))
+		}
+		out = append(out, UESummary{
+			Cell: key.cell, RNTI: key.rnti, LastMs: u.lastTMs, Bins: u.series.n,
+			DLBits: acc.DLBits, ULBits: acc.ULBits, Grants: acc.Grants, Retx: acc.Retx,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RNTI < out[j].RNTI })
+	return out
+}
+
+// CellSummary is one cell's rolled-up retained history.
+type CellSummary struct {
+	Cell   uint16  `json:"cell"`
+	UEs    int     `json:"ues"`
+	DLBits int64   `json:"dl_bits"`
+	ULBits int64   `json:"ul_bits"`
+	Grants int64   `json:"grants"`
+	Retx   int64   `json:"retx"`
+	LastMs float64 `json:"last_ms"`
+}
+
+// Snapshot is the store's state roll-up.
+type Snapshot struct {
+	TrackedUEs int           `json:"tracked_ues"`
+	LastMs     float64       `json:"last_ms"`
+	BinMs      float64       `json:"bin_ms"`
+	Depth      int           `json:"depth"`
+	MaxUEs     int           `json:"max_ues"`
+	Anomalies  int           `json:"anomalies"`
+	Cells      []CellSummary `json:"cells"`
+}
+
+// Snapshot rolls up the whole store: per-cell totals over retained
+// bins, tracked-UE counts, and configuration echoes.
+func (st *Store) Snapshot() Snapshot {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	met.queries.Inc()
+	snap := Snapshot{
+		TrackedUEs: len(st.ues), LastMs: st.lastTMs, BinMs: st.binMS,
+		Depth: st.cfg.Depth, MaxUEs: st.cfg.MaxUEs, Anomalies: st.anoms.n,
+	}
+	perCell := make(map[uint16]int)
+	for key := range st.ues {
+		perCell[key.cell]++
+	}
+	cells := make([]uint16, 0, len(st.cells))
+	for id := range st.cells {
+		cells = append(cells, id)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+	for _, id := range cells {
+		c := st.cells[id]
+		var acc Bin
+		for idx := c.series.oldestIdx(); idx <= c.series.curIdx && c.series.n > 0; idx++ {
+			acc.merge(c.series.at(idx))
+		}
+		snap.Cells = append(snap.Cells, CellSummary{
+			Cell: id, UEs: perCell[id],
+			DLBits: acc.DLBits, ULBits: acc.ULBits, Grants: acc.Grants, Retx: acc.Retx,
+			LastMs: float64(c.series.curIdx+1) * st.binMS,
+		})
+	}
+	return snap
+}

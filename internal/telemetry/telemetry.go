@@ -17,28 +17,33 @@ import (
 // Record is one decoded DCI's telemetry — the row NR-Scope writes per
 // transmission it observes.
 type Record struct {
-	SlotIdx  int         `json:"slot_idx"`
-	SFN      int         `json:"sfn"`
-	Slot     int         `json:"slot"`
-	RNTI     uint16      `json:"rnti"`
-	Downlink bool        `json:"downlink"`
-	Format   string      `json:"dci"`
-	TBS      int         `json:"tbs"`
-	NumPRB   int         `json:"nof_prb"`
-	REGs     int         `json:"nof_reg"`
-	NRE      int         `json:"nof_re"`
-	MCS      int         `json:"mcs"`
-	Qm       int         `json:"qm"`
-	R        float64     `json:"code_rate"`
-	AggLevel int         `json:"agg_level"`
-	StartCCE int         `json:"cce"`
-	HARQID   int         `json:"harq_id"`
-	NDI      uint8       `json:"ndi"`
-	RV       int         `json:"rv"`
-	IsRetx   bool        `json:"retx"`
-	NewUE    bool        `json:"new_ue,omitempty"`
-	Common   bool        `json:"common,omitempty"`
-	Ref      phy.SlotRef `json:"-"`
+	SlotIdx  int     `json:"slot_idx"`
+	SFN      int     `json:"sfn"`
+	Slot     int     `json:"slot"`
+	RNTI     uint16  `json:"rnti"`
+	Downlink bool    `json:"downlink"`
+	Format   string  `json:"dci"`
+	TBS      int     `json:"tbs"`
+	NumPRB   int     `json:"nof_prb"`
+	REGs     int     `json:"nof_reg"`
+	NRE      int     `json:"nof_re"`
+	MCS      int     `json:"mcs"`
+	Qm       int     `json:"qm"`
+	R        float64 `json:"code_rate"`
+	AggLevel int     `json:"agg_level"`
+	StartCCE int     `json:"cce"`
+	HARQID   int     `json:"harq_id"`
+	NDI      uint8   `json:"ndi"`
+	RV       int     `json:"rv"`
+	IsRetx   bool    `json:"retx"`
+	NewUE    bool    `json:"new_ue,omitempty"`
+	Common   bool    `json:"common,omitempty"`
+	// TMs is the record's slot time in milliseconds since capture
+	// start, derived from the slot index and the cell's numerology at
+	// publish time — the one timestamp history bins and external JSON
+	// consumers agree on (Ref itself does not serialize).
+	TMs float64     `json:"t_ms"`
+	Ref phy.SlotRef `json:"-"`
 }
 
 // String renders the record in the srsRAN-log style of the paper's
@@ -140,6 +145,14 @@ func (f *flowWindow) advance(slotIdx, n int) {
 		f.slots[pos] = 0
 	}
 	f.last = slotIdx
+}
+
+// Remove forgets a UE's flows in both directions — called when the UE
+// ages out of tracking so the flow map cannot grow without bound under
+// C-RNTI churn.
+func (w *WindowEstimator) Remove(rnti uint16) {
+	delete(w.flows, flowKey{rnti, true})
+	delete(w.flows, flowKey{rnti, false})
 }
 
 // Bitrate returns the flow's current windowed bitrate in bits/second,

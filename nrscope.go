@@ -67,6 +67,9 @@ var (
 	WithVerifyMSG4 = core.WithVerifyMSG4
 	// WithInactivityTimeout ages out silent UEs after n slots.
 	WithInactivityTimeout = core.WithInactivityTimeout
+	// WithIdleHorizon ages out silent UEs after a wall-clock duration
+	// (converted to slots once the cell's numerology is known).
+	WithIdleHorizon = core.WithIdleHorizon
 	// WithThroughputWindow sets the bitrate estimator window.
 	WithThroughputWindow = core.WithThroughputWindow
 	// WithDMRSGate toggles the candidate occupancy pre-filter.
