@@ -13,6 +13,13 @@
 //	nrscope -record capture.nrsc -duration 10s      # save the air capture
 //	nrscope -replay capture.nrsc -sink jsonl:t.jsonl  # post-process offline
 //	nrscope -history -metrics 127.0.0.1:9090 ...    # /history query API
+//	nrscope -cell amarisoft -fuse-cell mosolab -history ...  # multi-cell fusion
+//
+// Repeating -fuse-cell monitors additional cells and fuses every cell's
+// stream through the §7 aggregator: per-cell load, cross-cell handover
+// and carrier-aggregation candidates are reported at exit. With
+// -history, the fusion aggregator and the /history query API share one
+// bounded store — one copy of the bins backs both.
 //
 // The -sink flag is repeatable; its grammar is
 //
@@ -38,22 +45,23 @@ import (
 	"nrscope"
 	"nrscope/internal/bus"
 	"nrscope/internal/capfile"
+	"nrscope/internal/fusion"
 	"nrscope/internal/history"
 	"nrscope/internal/obs"
 )
 
-// sinkList collects repeated -sink flags.
-type sinkList []string
+// stringList collects repeated flags (-sink, -fuse-cell).
+type stringList []string
 
-func (s *sinkList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) String() string { return strings.Join(*s, ",") }
 
-func (s *sinkList) Set(v string) error {
+func (s *stringList) Set(v string) error {
 	*s = append(*s, v)
 	return nil
 }
 
 func main() {
-	var sinks sinkList
+	var sinks, fuseCells stringList
 	var (
 		cellName = flag.String("cell", "amarisoft", "cell preset: srsran|mosolab|amarisoft|tmobile1|tmobile2")
 		ues      = flag.Int("ues", 2, "number of simulated UEs")
@@ -75,6 +83,7 @@ func main() {
 		idleHorizon = flag.Duration("idle-horizon", 0, "evict UEs idle longer than this from the scope and the history store (0 = slot-count default)")
 	)
 	flag.Var(&sinks, "sink", "telemetry sink (repeatable): jsonl:PATH | tcp:ADDR | sse")
+	flag.Var(&fuseCells, "fuse-cell", "additional cell preset to monitor and fuse with -cell (repeatable; enables the multi-cell aggregator)")
 	flag.Parse()
 
 	var metricsSrv *obs.Server
@@ -129,11 +138,25 @@ func main() {
 	if *noVerify {
 		opts = append(opts, nrscope.WithVerifyMSG4(false))
 	}
-	if b != nil {
-		opts = append(opts, nrscope.WithBus(b))
-	}
 	if *idleHorizon > 0 {
 		opts = append(opts, nrscope.WithIdleHorizon(*idleHorizon))
+	}
+	if len(fuseCells) > 0 {
+		if *record != "" || *replay != "" {
+			log.Fatal("nrscope: -fuse-cell cannot be combined with -record or -replay")
+		}
+		// Multi-cell mode: the scopes do not publish to the bus
+		// themselves — the fusion aggregator mirrors the fused stream
+		// onto it, and feeds the (shared) history store directly.
+		runMultiCell(append([]string{*cellName}, fuseCells...), *ues, *duration, *seed, opts, b, store, *idleHorizon)
+		closeBus()
+		if store != nil {
+			printHistorySummary(store)
+		}
+		return
+	}
+	if b != nil {
+		opts = append(opts, nrscope.WithBus(b))
 	}
 	if *replay != "" {
 		runReplay(*replay, opts, b, store)
@@ -227,6 +250,82 @@ func main() {
 	closeBus() // drain Block subscribers before reading the store
 	if store != nil {
 		printHistorySummary(store)
+	}
+}
+
+// runMultiCell drives one testbed per cell preset and fuses every
+// cell's records through the §7 aggregator. With -history the
+// aggregator publishes into the store already serving the query API
+// (one bounded copy of the bins backs both); without it the aggregator
+// owns a private store at the 10 ms correlation bin. Either way memory
+// stays flat for arbitrarily long runs.
+func runMultiCell(cellNames []string, ues int, duration time.Duration, seed int64, opts []nrscope.Option, b *bus.Bus, store *history.Store, idleHorizon time.Duration) {
+	agg := fusion.NewWithStore(store)
+	if idleHorizon > 0 {
+		agg.IdleHorizon = idleHorizon
+	}
+	if b != nil {
+		agg.PublishTo(b)
+	}
+	type cellRun struct {
+		tb *nrscope.Testbed
+		id uint16
+	}
+	cells := make([]cellRun, 0, len(cellNames))
+	for i, name := range cellNames {
+		preset, err := presetByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb, err := nrscope.NewTestbed(preset, seed+int64(i), opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := tb.GNB.Config()
+		if err := agg.AddCell(cfg.CellID, cfg.Mu); err != nil {
+			log.Fatalf("nrscope: fusing %q: %v", name, err)
+		}
+		for u := 0; u < ues; u++ {
+			tb.AttachUE(nrscope.UEProfile{})
+		}
+		cells = append(cells, cellRun{tb, cfg.CellID})
+		fmt.Fprintf(os.Stderr, "nrscope: fusing cell %d (%s, %v)\n", cfg.CellID, name, cfg.Mu)
+	}
+
+	var records int
+	step := 50 * time.Millisecond
+	for t := time.Duration(0); t < duration; t += step {
+		for _, c := range cells {
+			id := c.id
+			c.tb.RunFor(step, func(res *nrscope.SlotResult) {
+				for _, rec := range res.Records {
+					_ = agg.Ingest(id, rec)
+				}
+				if store != nil && res.Spare != nil {
+					store.IngestSpare(id, res.SlotIdx, res.Spare)
+				}
+				records += len(res.Records)
+			})
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "nrscope: fused %d records across %d cells; merged view holds %d bins\n",
+		records, len(cells), len(agg.Merged()))
+	for _, c := range cells {
+		load, _ := agg.CellLoad(c.id)
+		total, recent, _ := agg.ActiveUEs(c.id, duration, time.Second)
+		fmt.Fprintf(os.Stderr, "nrscope: cell %d: mean load %.2f Mbps, %d UE sessions retained (%d recent)\n",
+			c.id, load/1e6, total, recent)
+	}
+	hos := agg.Handovers()
+	for _, h := range hos {
+		fmt.Fprintf(os.Stderr, "nrscope: %s\n", h)
+	}
+	if len(hos) == 0 {
+		fmt.Fprintln(os.Stderr, "nrscope: no handover candidates detected")
+	}
+	for _, ca := range agg.CarrierAggregation(0.7) {
+		fmt.Fprintf(os.Stderr, "nrscope: %s\n", ca)
 	}
 }
 

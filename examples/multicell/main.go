@@ -3,6 +3,14 @@
 // aggregate view that reports per-cell load and flags cross-cell UE
 // handovers — a session going silent on one cell immediately followed by
 // a fresh C-RNTI with a similar traffic fingerprint on the other.
+//
+// The aggregator is history-backed: every record is folded into a
+// bounded history.Store of fixed-depth bin rings, and the fused views
+// (merged stream, carrier-aggregation correlation) are reconstructed
+// from those bins. Here the store is created explicitly and shared with
+// the aggregator — the same wiring cmd/nrscope uses for
+// -fuse-cell + -history, where one copy of the bins backs both the
+// fusion views and the /history query API.
 package main
 
 import (
@@ -11,6 +19,7 @@ import (
 
 	"nrscope"
 	"nrscope/internal/fusion"
+	"nrscope/internal/history"
 )
 
 func main() {
@@ -23,9 +32,13 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	agg := fusion.New()
-	must(agg.AddCell(cellA.GNB.Config().CellID, cellA.GNB.Config().Mu))
-	must(agg.AddCell(cellB.GNB.Config().CellID, cellB.GNB.Config().Mu))
+	// One bounded store backs the fusion views and stays queryable:
+	// 10 ms correlation bins, 600 bins (= 6 s) retained per series.
+	store := history.New(history.Config{BinWidth: 10 * time.Millisecond, Depth: 600})
+	agg := fusion.NewWithStore(store)
+	idA, idB := cellA.GNB.Config().CellID, cellB.GNB.Config().CellID
+	must(agg.AddCell(idA, cellA.GNB.Config().Mu))
+	must(agg.AddCell(idB, cellB.GNB.Config().Mu))
 
 	// The moving UE: 1.5 s on cell A, then it re-attaches on cell B.
 	// (C-RNTIs are cell-local: the scopes see two unrelated identifiers.)
@@ -40,12 +53,12 @@ func main() {
 	for t := time.Duration(0); t < total; t += step {
 		cellA.RunFor(step, func(res *nrscope.SlotResult) {
 			for _, rec := range res.Records {
-				_ = agg.Ingest(cellA.GNB.Config().CellID, rec)
+				_ = agg.Ingest(idA, rec)
 			}
 		})
 		cellB.RunFor(step, func(res *nrscope.SlotResult) {
 			for _, rec := range res.Records {
-				_ = agg.Ingest(cellB.GNB.Config().CellID, rec)
+				_ = agg.Ingest(idB, rec)
 			}
 		})
 		// Hand the UE over once its cell-A session ends.
@@ -55,7 +68,7 @@ func main() {
 		}
 	}
 
-	for _, id := range []uint16{cellA.GNB.Config().CellID, cellB.GNB.Config().CellID} {
+	for _, id := range []uint16{idA, idB} {
 		load, _ := agg.CellLoad(id)
 		totalUEs, recent, _ := agg.ActiveUEs(id, total, time.Second)
 		fmt.Printf("cell %d: mean load %.2f Mbps, %d UEs seen (%d recent)\n",
@@ -67,7 +80,17 @@ func main() {
 	if len(agg.Handovers()) == 0 {
 		fmt.Println("no handover candidates detected")
 	}
-	fmt.Printf("aggregate stream: %d records across both cells\n", len(agg.Merged()))
+	fmt.Printf("merged view: %d active bins across both cells (bounded by the %d-bin rings)\n",
+		len(agg.Merged()), store.Depth())
+	// The shared store answers queries over the same bins the fused
+	// views were computed from — the moving UE's last second on cell B:
+	if onB != 0 {
+		var bits int64
+		for _, b := range store.QueryWindow(idB, onB, time.Second, 1) {
+			bits += b.DLBits
+		}
+		fmt.Printf("moving UE 0x%04x on cell B: %d DL bits in its last retained second\n", onB, bits)
+	}
 }
 
 func must(err error) {

@@ -1,7 +1,7 @@
 // Package fusion implements the paper's §7 "post-processing library"
 // future-work item: NR-Scope instances on multiple USRPs decode multiple
 // cells, and their telemetry streams are fused into one aggregate view —
-// time-aligned cell load, a merged record stream, and cross-cell UE
+// time-aligned cell load, a merged windowed stream, and cross-cell UE
 // handover detection (a session going silent on one cell immediately
 // followed by a new C-RNTI appearing on a neighbour).
 //
@@ -9,6 +9,16 @@
 // the detector matches departure/arrival timing and compares the flow's
 // bitrate fingerprint before and after, reporting a confidence rather
 // than a claim.
+//
+// The aggregator is strictly memory-bounded: every ingested record is
+// folded into a history.Store (either its own, or one shared with the
+// -history query API), and the windowed views — Merged, carrier
+// aggregation — are reconstructed from the store's fixed-depth bin
+// rings. Per-UE session accounting is a compact fixed-size struct per
+// retained C-RNTI, swept by the idle horizon; detected handovers live in
+// a bounded ring. Nothing grows with the number of records ingested, so
+// the aggregate survives the multi-day runs OWL-style control-channel
+// monitors are built for.
 package fusion
 
 import (
@@ -17,6 +27,7 @@ import (
 	"time"
 
 	"nrscope/internal/bus"
+	"nrscope/internal/history"
 	"nrscope/internal/phy"
 	"nrscope/internal/telemetry"
 )
@@ -27,24 +38,40 @@ type cellState struct {
 	mu  phy.Numerology
 	tti time.Duration
 
-	// Per-UE activity, maintained from the record stream.
+	// Per-UE session accounting, maintained from the record stream and
+	// swept by the idle horizon. Bin-level activity lives in the history
+	// store, not here.
 	ues map[uint16]*ueActivity
 
 	records int
 	bits    int64 // downlink TBS bits total (load accounting)
+
+	// First/last UE activity on the cell, tracked independently of the
+	// ues map so idle eviction cannot shrink the observation span that
+	// CellLoad divides by.
+	seen            bool
+	firstAt, lastAt time.Duration
 }
 
-// activityBin buckets DCI activity for cross-cell correlation.
+// activityBin is the correlation bin width an aggregator-owned history
+// store uses; a shared store correlates at its own bin width.
 const activityBin = 10 * time.Millisecond
 
-// ueActivity is the fused view of one C-RNTI on one cell.
+// ownStoreDepth is the bin depth of an aggregator-owned store: ~10 s of
+// correlation window at the 10 ms activity bin.
+const ownStoreDepth = 1024
+
+// minCABins is the minimum active bins a session needs to enter
+// carrier-aggregation matching: tiny sessions correlate by chance.
+const minCABins = 10
+
+// ueActivity is the fused session accounting of one C-RNTI on one cell.
 type ueActivity struct {
 	rnti      uint16
 	firstSeen time.Duration
 	lastSeen  time.Duration
 	bits      int64
 	dcis      int
-	bins      map[int64]bool // activityBin buckets with >=1 DCI
 }
 
 // meanRate returns the session's average downlink rate in bits/s.
@@ -70,12 +97,28 @@ type Handover struct {
 	// Confidence in [0,1]: timing proximity combined with the bitrate
 	// fingerprint similarity of the two sessions.
 	Confidence float64
+	// FromRate/ToRate are the two sessions' mean downlink rates in
+	// bits/s: the fingerprint the confidence was refined with. FromRate
+	// is frozen at detection (the source session is over); ToRate is the
+	// arrival session's rate as of the Handovers call.
+	FromRate float64
+	ToRate   float64
 }
 
 // String implements fmt.Stringer.
 func (h Handover) String() string {
 	return fmt.Sprintf("handover cell%d:0x%04x -> cell%d:0x%04x at %v (gap %v, conf %.2f)",
 		h.FromCell, h.FromRNTI, h.ToCell, h.ToRNTI, h.At.Round(time.Millisecond), h.Gap.Round(time.Millisecond), h.Confidence)
+}
+
+// handoverRec is the retained form of a detected handover: the timing
+// candidate plus frozen references to the two sessions it scored, so
+// later C-RNTI reuse or idle eviction cannot rescore it with a different
+// UE's fingerprint.
+type handoverRec struct {
+	h        Handover // Confidence holds the timing-only score
+	fromRate float64  // source session mean rate, snapshotted at detection
+	to       *ueActivity
 }
 
 // Aggregator fuses multiple cells' telemetry streams.
@@ -91,39 +134,58 @@ type Aggregator struct {
 	// well above HandoverWindow or departures can no longer be matched
 	// to arrivals on neighbour cells).
 	IdleHorizon time.Duration
+	// MaxHandovers bounds the retained handover candidates: beyond it
+	// the oldest is dropped.
+	MaxHandovers int
 
-	handovers []Handover
-	merged    []TimedRecord
+	store    *history.Store
+	ownStore bool
+
+	handovers []handoverRec
 
 	bus *bus.Bus // optional: mirror the fused stream onto a bus
 }
 
-// TimedRecord is a telemetry record annotated with its cell and its
-// absolute time (cells may run different numerologies, so slot indices
-// alone do not align).
-type TimedRecord struct {
-	Cell uint16
-	At   time.Duration
-	Rec  telemetry.Record
-}
+// New creates an aggregator backed by its own history store at the
+// 10 ms activity-bin width.
+func New() *Aggregator { return NewWithStore(nil) }
 
-// New creates an empty aggregator.
-func New() *Aggregator {
-	return &Aggregator{
+// NewWithStore creates an aggregator publishing into st — typically the
+// store already serving the -history query API, so one copy of the bins
+// backs both. The store's bin width becomes the correlation bin. A nil
+// st allocates a private store at the 10 ms activity bin.
+func NewWithStore(st *history.Store) *Aggregator {
+	a := &Aggregator{
 		cells:          make(map[uint16]*cellState),
 		HandoverWindow: 500 * time.Millisecond,
 		MinSessionBits: 10000,
 		IdleHorizon:    5 * time.Minute,
+		MaxHandovers:   4096,
 	}
+	if st == nil {
+		st = history.New(history.Config{BinWidth: activityBin, Depth: ownStoreDepth})
+		a.ownStore = true
+	}
+	a.store = st
+	return a
 }
 
-// AddCell registers a monitored cell and its numerology.
+// Store returns the history store the aggregator publishes into.
+func (a *Aggregator) Store() *history.Store { return a.store }
+
+// AddCell registers a monitored cell and its numerology, registering it
+// with the history store too unless a shared store already has it.
 func (a *Aggregator) AddCell(cellID uint16, mu phy.Numerology) error {
 	if !mu.Valid() {
 		return fmt.Errorf("fusion: invalid numerology for cell %d", cellID)
 	}
 	if _, dup := a.cells[cellID]; dup {
 		return fmt.Errorf("fusion: cell %d already registered", cellID)
+	}
+	if !a.store.HasCell(cellID) {
+		if err := a.store.AddCell(cellID, mu.SlotDuration()); err != nil {
+			return err
+		}
 	}
 	a.cells[cellID] = &cellState{
 		id: cellID, mu: mu, tti: mu.SlotDuration(),
@@ -138,14 +200,16 @@ func (a *Aggregator) AddCell(cellID uint16, mu phy.Numerology) error {
 // scope's feed. Pass nil to stop mirroring.
 func (a *Aggregator) PublishTo(b *bus.Bus) { a.bus = b }
 
-// Ingest feeds one record from a cell's scope into the aggregate.
+// Ingest feeds one record from a cell's scope into the aggregate: the
+// history store gets the bin-level data, the cell gets its compact
+// session accounting.
 func (a *Aggregator) Ingest(cellID uint16, rec telemetry.Record) error {
 	c := a.cells[cellID]
 	if c == nil {
 		return fmt.Errorf("fusion: unknown cell %d", cellID)
 	}
 	at := time.Duration(rec.SlotIdx) * c.tti
-	a.merged = append(a.merged, TimedRecord{Cell: cellID, At: at, Rec: rec})
+	a.store.Ingest(cellID, rec)
 	c.records++
 	if a.IdleHorizon > 0 && c.records%512 == 0 {
 		c.evictIdle(at - a.IdleHorizon)
@@ -156,9 +220,15 @@ func (a *Aggregator) Ingest(cellID uint16, rec telemetry.Record) error {
 	if rec.Common {
 		return nil
 	}
+	if !c.seen {
+		c.seen, c.firstAt = true, at
+	}
+	if at > c.lastAt {
+		c.lastAt = at
+	}
 	u := c.ues[rec.RNTI]
 	if u == nil {
-		u = &ueActivity{rnti: rec.RNTI, firstSeen: at, bins: make(map[int64]bool)}
+		u = &ueActivity{rnti: rec.RNTI, firstSeen: at}
 		c.ues[rec.RNTI] = u
 		// A fresh C-RNTI: check whether it looks like an arrival from a
 		// recently silenced session on another cell.
@@ -166,7 +236,6 @@ func (a *Aggregator) Ingest(cellID uint16, rec telemetry.Record) error {
 	}
 	u.lastSeen = at
 	u.dcis++
-	u.bins[int64(at/activityBin)] = true
 	if rec.Downlink && !rec.IsRetx {
 		u.bits += int64(rec.TBS)
 		c.bits += int64(rec.TBS)
@@ -186,9 +255,11 @@ func (c *cellState) evictIdle(cutoff time.Duration) {
 	}
 }
 
-// matchHandover looks for the best recently-departed session elsewhere.
+// matchHandover looks for the best recently-departed session elsewhere,
+// freezing both sessions' identities into the retained record so later
+// RNTI reuse cannot rescore it.
 func (a *Aggregator) matchHandover(to *cellState, arrival *ueActivity, at time.Duration) {
-	var best *Handover
+	var best *handoverRec
 	for _, from := range a.cells {
 		if from.id == to.id {
 			continue
@@ -202,17 +273,25 @@ func (a *Aggregator) matchHandover(to *cellState, arrival *ueActivity, at time.D
 				continue
 			}
 			conf := 1 - gap.Seconds()/a.HandoverWindow.Seconds()
-			h := Handover{
-				FromCell: from.id, ToCell: to.id,
-				FromRNTI: u.rnti, ToRNTI: arrival.rnti,
-				At: at, Gap: gap, Confidence: conf,
+			hr := handoverRec{
+				h: Handover{
+					FromCell: from.id, ToCell: to.id,
+					FromRNTI: u.rnti, ToRNTI: arrival.rnti,
+					At: at, Gap: gap, Confidence: conf,
+				},
+				fromRate: u.meanRate(),
+				to:       arrival,
 			}
-			if best == nil || h.Confidence > best.Confidence {
-				best = &h
+			if best == nil || hr.h.Confidence > best.h.Confidence {
+				best = &hr
 			}
 		}
 	}
 	if best != nil {
+		if a.MaxHandovers > 0 && len(a.handovers) >= a.MaxHandovers {
+			n := copy(a.handovers, a.handovers[1:])
+			a.handovers = a.handovers[:n]
+		}
 		a.handovers = append(a.handovers, *best)
 	}
 }
@@ -230,23 +309,19 @@ func rateSimilarity(a, b float64) float64 {
 }
 
 // Handovers returns the detected candidates with their confidence
-// refined by the sessions' bitrate similarity.
+// refined by the sessions' bitrate similarity. The refinement uses the
+// sessions frozen at detection time — the source rate snapshot and the
+// arrival session object — so idle eviction or C-RNTI reuse on either
+// cell cannot swap in a different UE's fingerprint.
 func (a *Aggregator) Handovers() []Handover {
-	out := make([]Handover, len(a.handovers))
-	copy(out, a.handovers)
-	for i := range out {
-		from := a.cells[out[i].FromCell]
-		to := a.cells[out[i].ToCell]
-		if from == nil || to == nil {
-			continue
-		}
-		fu := from.ues[out[i].FromRNTI]
-		tu := to.ues[out[i].ToRNTI]
-		if fu == nil || tu == nil {
-			continue
-		}
-		sim := rateSimilarity(fu.meanRate(), tu.meanRate())
-		out[i].Confidence = 0.5*out[i].Confidence + 0.5*sim
+	out := make([]Handover, 0, len(a.handovers))
+	for _, hr := range a.handovers {
+		h := hr.h
+		h.FromRate = hr.fromRate
+		h.ToRate = hr.to.meanRate()
+		sim := rateSimilarity(h.FromRate, h.ToRate)
+		h.Confidence = 0.5*h.Confidence + 0.5*sim
+		out = append(out, h)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
@@ -259,8 +334,8 @@ func (a *Aggregator) Handovers() []Handover {
 type CACandidate struct {
 	CellA, CellB uint16
 	RNTIA, RNTIB uint16
-	// Overlap is the fraction of the smaller session's active 10 ms
-	// bins that are also active on the other carrier.
+	// Overlap is the fraction of the sparser session's active bins that
+	// are also active on the other carrier.
 	Overlap float64
 }
 
@@ -270,33 +345,31 @@ func (c CACandidate) String() string {
 		c.CellA, c.RNTIA, c.CellB, c.RNTIB, c.Overlap)
 }
 
-// CarrierAggregation scans cross-cell session pairs and returns those
-// whose activity overlap meets minOverlap (e.g. 0.7). Sessions shorter
-// than ten bins are ignored: tiny sessions correlate by chance.
+// CarrierAggregation scans cross-cell session pairs over the history
+// store's retained window and returns those whose activity-mask overlap
+// meets minOverlap (e.g. 0.7). Sessions active in fewer than ten bins
+// are ignored: tiny sessions correlate by chance.
 func (a *Aggregator) CarrierAggregation(minOverlap float64) []CACandidate {
-	type entry struct {
-		cell uint16
-		u    *ueActivity
-	}
-	var all []entry
+	var all []history.SeriesMask
 	for _, c := range a.cells {
-		for _, u := range c.ues {
-			if len(u.bins) >= 10 {
-				all = append(all, entry{c.id, u})
+		for _, s := range a.store.UEs(c.id) {
+			m, ok := a.store.ActivityMask(c.id, s.RNTI)
+			if ok && m.Active >= minCABins {
+				all = append(all, m)
 			}
 		}
 	}
 	var out []CACandidate
 	for i := 0; i < len(all); i++ {
 		for j := i + 1; j < len(all); j++ {
-			if all[i].cell == all[j].cell {
+			if all[i].Cell == all[j].Cell {
 				continue
 			}
-			ov := binOverlap(all[i].u.bins, all[j].u.bins)
+			ov := all[i].Overlap(all[j])
 			if ov >= minOverlap {
 				out = append(out, CACandidate{
-					CellA: all[i].cell, CellB: all[j].cell,
-					RNTIA: all[i].u.rnti, RNTIB: all[j].u.rnti,
+					CellA: all[i].Cell, CellB: all[j].Cell,
+					RNTIA: all[i].RNTI, RNTIB: all[j].RNTI,
 					Overlap: ov,
 				})
 			}
@@ -306,48 +379,55 @@ func (a *Aggregator) CarrierAggregation(minOverlap float64) []CACandidate {
 	return out
 }
 
-// binOverlap is |A∩B| / min(|A|,|B|).
-func binOverlap(a, b map[int64]bool) float64 {
-	small, big := a, b
-	if len(b) < len(a) {
-		small, big = b, a
-	}
-	if len(small) == 0 {
-		return 0
-	}
-	n := 0
-	for bin := range small {
-		if big[bin] {
-			n++
-		}
-	}
-	return float64(n) / float64(len(small))
+// MergedBin is one cell's history bin in the fused windowed stream.
+type MergedBin struct {
+	Cell uint16
+	history.BinSample
 }
 
-// Merged returns the fused record stream in absolute-time order — the
-// "aggregate data stream" of §7.
-func (a *Aggregator) Merged() []TimedRecord {
-	out := make([]TimedRecord, len(a.merged))
-	copy(out, a.merged)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+// At returns the bin's start as an absolute stream time.
+func (m MergedBin) At() time.Duration {
+	return time.Duration(m.StartMs * float64(time.Millisecond))
+}
+
+// Merged returns the fused stream as a bounded windowed view — each
+// cell's retained history bins that saw traffic, interleaved in
+// absolute-time order (the "aggregate data stream" of §7, reconstructed
+// from the store's fixed-depth rings instead of a per-record buffer).
+func (a *Aggregator) Merged() []MergedBin {
+	var out []MergedBin
+	for _, c := range a.cells {
+		for _, s := range a.store.CellQuery(c.id, 0, 0, 1) {
+			if s.Grants == 0 && s.TotalREs == 0 {
+				continue // silent bin inside the retained window
+			}
+			out = append(out, MergedBin{Cell: c.id, BinSample: s})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].StartMs != out[j].StartMs {
+			return out[i].StartMs < out[j].StartMs
+		}
+		return out[i].Cell < out[j].Cell
+	})
 	return out
 }
 
 // CellLoad reports a cell's mean downlink load in bits/s over the span
-// it has been observed.
+// it has been observed. The span is the cell's own first-to-last
+// activity, independent of which UE sessions are still retained, so
+// idle eviction cannot shrink it.
 func (a *Aggregator) CellLoad(cellID uint16) (float64, error) {
 	c := a.cells[cellID]
 	if c == nil {
 		return 0, fmt.Errorf("fusion: unknown cell %d", cellID)
 	}
-	var span time.Duration
-	for _, u := range c.ues {
-		if u.lastSeen > span {
-			span = u.lastSeen
-		}
-	}
-	if span <= 0 {
+	if !c.seen {
 		return 0, nil
+	}
+	span := c.lastAt - c.firstAt
+	if span <= 0 {
+		span = c.tti // a single active slot: rate over one TTI
 	}
 	return float64(c.bits) / span.Seconds(), nil
 }

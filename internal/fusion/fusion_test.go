@@ -1,9 +1,11 @@
 package fusion
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
+	"nrscope/internal/history"
 	"nrscope/internal/phy"
 	"nrscope/internal/telemetry"
 )
@@ -40,24 +42,67 @@ func TestAddCellValidation(t *testing.T) {
 	}
 }
 
+// TestAddCellSharedStore: handing the aggregator a store that already
+// has a cell registered (the -history wiring) must not fail AddCell.
+func TestAddCellSharedStore(t *testing.T) {
+	st := history.New(history.Config{BinWidth: 10 * time.Millisecond, Depth: 64})
+	if err := st.AddCell(1, phy.Mu1.SlotDuration()); err != nil {
+		t.Fatal(err)
+	}
+	a := NewWithStore(st)
+	if a.Store() != st {
+		t.Fatal("shared store not adopted")
+	}
+	if err := a.AddCell(1, phy.Mu1); err != nil {
+		t.Fatalf("AddCell on a shared store: %v", err)
+	}
+	if err := a.AddCell(2, phy.Mu0); err != nil {
+		t.Fatalf("AddCell of a store-unknown cell: %v", err)
+	}
+	_ = a.Ingest(1, rec(100, 0x11, 1000))
+	if got := st.TrackedUEs(); got != 1 {
+		t.Errorf("shared store tracks %d UEs after ingest, want 1", got)
+	}
+}
+
 func TestMergedStreamTimeOrdered(t *testing.T) {
 	a := twoCells(t)
 	// Cell 1 runs 0.5 ms slots, cell 2 runs 1 ms slots: slot indices do
-	// not align, absolute times must.
-	_ = a.Ingest(1, rec(100, 0x11, 1000)) // t = 50 ms
-	_ = a.Ingest(2, rec(40, 0x22, 1000))  // t = 40 ms
-	_ = a.Ingest(1, rec(60, 0x11, 1000))  // t = 30 ms
+	// not align, absolute bin times must.
+	_ = a.Ingest(1, rec(100, 0x11, 1000)) // t = 50 ms -> bin 5
+	_ = a.Ingest(2, rec(40, 0x22, 2000))  // t = 40 ms -> bin 4
+	_ = a.Ingest(1, rec(60, 0x11, 4000))  // t = 30 ms -> bin 3
 	m := a.Merged()
 	if len(m) != 3 {
-		t.Fatalf("merged %d records", len(m))
+		t.Fatalf("merged %d bins (%+v), want 3", len(m), m)
 	}
 	for i := 1; i < len(m); i++ {
-		if m[i].At < m[i-1].At {
-			t.Fatalf("merged stream out of order: %v after %v", m[i].At, m[i-1].At)
+		if m[i].At() < m[i-1].At() {
+			t.Fatalf("merged view out of order: %v after %v", m[i].At(), m[i-1].At())
 		}
 	}
-	if m[0].Cell != 1 || m[0].At != 30*time.Millisecond {
-		t.Errorf("first merged record wrong: %+v", m[0])
+	if m[0].Cell != 1 || m[0].At() != 30*time.Millisecond || m[0].DLBits != 4000 {
+		t.Errorf("first merged bin wrong: %+v", m[0])
+	}
+	if m[1].Cell != 2 || m[1].DLBits != 2000 {
+		t.Errorf("second merged bin wrong: %+v", m[1])
+	}
+}
+
+// TestMergedViewBounded: the merged view is reconstructed from the
+// store's fixed-depth rings, so it cannot outgrow depth bins per cell no
+// matter how many records were ingested.
+func TestMergedViewBounded(t *testing.T) {
+	st := history.New(history.Config{BinWidth: 10 * time.Millisecond, Depth: 32})
+	a := NewWithStore(st)
+	if err := a.AddCell(1, phy.Mu0); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 10000; s++ { // 10 s of 1 ms slots, every bin active
+		_ = a.Ingest(1, rec(s, 0x11, 100))
+	}
+	if m := a.Merged(); len(m) > 32 {
+		t.Errorf("merged view holds %d bins, want <= store depth 32", len(m))
 	}
 }
 
@@ -86,6 +131,9 @@ func TestHandoverDetected(t *testing.T) {
 	if h.Confidence < 0.5 {
 		t.Errorf("confidence %.2f too low for a clean handover", h.Confidence)
 	}
+	if h.FromRate <= 0 || h.ToRate <= 0 {
+		t.Errorf("session rates not reported: from %.0f to %.0f", h.FromRate, h.ToRate)
+	}
 }
 
 func TestNoHandoverOutsideWindow(t *testing.T) {
@@ -106,6 +154,50 @@ func TestNoHandoverForTinySessions(t *testing.T) {
 	_ = a.Ingest(2, rec(60, 0x7777, 8000))
 	if hos := a.Handovers(); len(hos) != 0 {
 		t.Errorf("tiny session matched: %+v", hos)
+	}
+}
+
+// TestHandoverSurvivesRNTIReuse: after a handover is detected, the
+// target C-RNTI ages out and is reused by an unrelated (much faster)
+// session. The retained handover must keep the original arrival's
+// fingerprint — reuse used to rescore it with the new UE's bitrate.
+func TestHandoverSurvivesRNTIReuse(t *testing.T) {
+	a := twoCells(t)
+	a.IdleHorizon = time.Second
+	for s := 0; s <= 400; s += 4 {
+		_ = a.Ingest(1, rec(s, 0x4601, 8000))
+	}
+	for s := 280; s <= 600; s += 8 {
+		_ = a.Ingest(2, rec(s, 0x7777, 16000))
+	}
+	want := a.Handovers()
+	if len(want) != 1 {
+		t.Fatalf("detected %d handovers, want 1", len(want))
+	}
+
+	// Busy-work on cell 2 far past the idle horizon (>512 records to
+	// trigger the sweep), evicting 0x7777's session accounting...
+	for s := 0; s < 600; s++ {
+		_ = a.Ingest(2, rec(5000+s, 0x1111, 1000))
+	}
+	if _, reused := a.cells[2].ues[0x7777]; reused {
+		t.Fatal("stale 0x7777 session not evicted; sweep broken")
+	}
+	// ...then 0x7777 is reused by a session 100x the original's rate.
+	for s := 5600; s <= 5700; s += 2 {
+		_ = a.Ingest(2, rec(s, 0x7777, 200000))
+	}
+
+	got := a.Handovers()
+	if len(got) < 1 {
+		t.Fatal("handover lost after reuse")
+	}
+	g := got[0]
+	if g.Confidence != want[0].Confidence {
+		t.Errorf("RNTI reuse rescored the handover: conf %.4f -> %.4f", want[0].Confidence, g.Confidence)
+	}
+	if g.ToRate != want[0].ToRate {
+		t.Errorf("RNTI reuse swapped the arrival fingerprint: rate %.0f -> %.0f", want[0].ToRate, g.ToRate)
 	}
 }
 
@@ -139,6 +231,43 @@ func TestCellLoadAndActiveUEs(t *testing.T) {
 	}
 	if _, err := a.CellLoad(42); err == nil {
 		t.Error("unknown cell load accepted")
+	}
+}
+
+// TestCellLoadSurvivesEviction: idle eviction of every UE session used
+// to collapse the observation span to zero (the load was computed from
+// the retained UEs' lastSeen), reporting zero load on a busy cell. The
+// span now lives on the cell itself.
+func TestCellLoadSurvivesEviction(t *testing.T) {
+	a := New()
+	if err := a.AddCell(1, phy.Mu0); err != nil { // 1 ms slots
+		t.Fatal(err)
+	}
+	a.IdleHorizon = time.Second
+	// A busy UE: 600 slots x 10000 bits over 0..599 ms.
+	for s := 0; s < 600; s++ {
+		_ = a.Ingest(1, rec(s, 0x4601, 10000))
+	}
+	want, err := a.CellLoad(1)
+	if err != nil || want <= 0 {
+		t.Fatalf("load before eviction = (%v, %v)", want, err)
+	}
+	// Broadcast-only traffic far past the horizon: triggers the idle
+	// sweep (>512 records) without creating any UE session.
+	for s := 0; s < 600; s++ {
+		common := rec(5000+s, 0xFFFF, 0)
+		common.Common = true
+		_ = a.Ingest(1, common)
+	}
+	if n := len(a.cells[1].ues); n != 0 {
+		t.Fatalf("ue map holds %d sessions, want 0 after sweep", n)
+	}
+	got, err := a.CellLoad(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("eviction changed CellLoad: %.0f -> %.0f", want, got)
 	}
 }
 
@@ -233,5 +362,101 @@ func TestIdleHorizonDisabled(t *testing.T) {
 	}
 	if n := len(a.cells[1].ues); n != 2048 {
 		t.Errorf("ue map holds %d sessions, want all 2048 with eviction off", n)
+	}
+}
+
+// TestHandoverRingBounded: handover candidates are a bounded ring — a
+// pathological ping-pong workload cannot grow the slice without limit,
+// and the newest candidates win.
+func TestHandoverRingBounded(t *testing.T) {
+	a := twoCells(t)
+	a.MaxHandovers = 8
+	a.MinSessionBits = 1000
+	cell, other := uint16(1), uint16(2)
+	slotMS := map[uint16]int{1: 2, 2: 1} // slots per ms
+	t0 := 0
+	for i := 0; i < 100; i++ {
+		// A short busy session, then an "arrival" on the other cell
+		// 100 ms later: every iteration detects one handover.
+		rnti := uint16(0x1000 + i)
+		for k := 0; k < 10; k++ {
+			_ = a.Ingest(cell, rec((t0+k*10)*slotMS[cell], rnti, 2000))
+		}
+		t0 += 200
+		cell, other = other, cell
+	}
+	if n := len(a.handovers); n > 8 {
+		t.Fatalf("handover ring holds %d, want <= 8", n)
+	}
+	hos := a.Handovers()
+	if len(hos) == 0 {
+		t.Fatal("no handovers retained")
+	}
+	_ = other
+}
+
+// TestFusionSoakBoundedMemory is the long-run soak: two cells ingest
+// more than 10x the history depth of records under full C-RNTI churn,
+// and the aggregator's retained state — store series, session maps,
+// handover ring, merged view — must stay flat. The heap is sampled
+// after a warm-up and again at the end; any per-record or per-UE-bin
+// leak at this volume would add megabytes.
+func TestFusionSoakBoundedMemory(t *testing.T) {
+	st := history.New(history.Config{
+		BinWidth: 10 * time.Millisecond, Depth: 64, MaxUEs: 512,
+	})
+	a := NewWithStore(st)
+	a.IdleHorizon = time.Second
+	a.MaxHandovers = 256
+	if err := a.AddCell(1, phy.Mu1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddCell(2, phy.Mu0); err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 200000 // >> 10 * depth(64) bins of records, per cell
+	ingest := func(from, to int) {
+		for i := from; i < to; i++ {
+			rnti := uint16(1 + i%30000)
+			// Both cells see churning one-shot sessions, 2 ms apart.
+			_ = a.Ingest(1, rec(i*4, rnti, 4000))        // 0.5 ms slots
+			_ = a.Ingest(2, rec(i*2, rnti^0x5555, 4000)) // 1 ms slots
+		}
+	}
+
+	ingest(0, total/5) // warm-up: fills rings, maps, ring buffers
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	ingest(total/5, total)
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if grew := int64(after.HeapAlloc) - int64(before.HeapAlloc); grew > 2<<20 {
+		t.Errorf("heap grew %d bytes across the soak (want flat, < 2 MiB slack)", grew)
+	}
+	if n := st.TrackedUEs(); n > 512 {
+		t.Errorf("store tracks %d UEs, want <= MaxUEs 512", n)
+	}
+	for _, cell := range []uint16{1, 2} {
+		if n := len(a.cells[cell].ues); n > 2000 {
+			t.Errorf("cell %d session map holds %d, want bounded by idle horizon", cell, n)
+		}
+	}
+	if n := len(a.handovers); n > 256 {
+		t.Errorf("handover ring holds %d, want <= 256", n)
+	}
+	if m := a.Merged(); len(m) > 2*64 {
+		t.Errorf("merged view holds %d bins, want <= 2x depth", len(m))
+	}
+	// The aggregate still answers: load and activity survive the churn.
+	for _, cell := range []uint16{1, 2} {
+		load, err := a.CellLoad(cell)
+		if err != nil || load <= 0 {
+			t.Errorf("cell %d load after soak = (%v, %v)", cell, load, err)
+		}
 	}
 }

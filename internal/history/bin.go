@@ -94,8 +94,15 @@ func (s *series) advance(idx int64, onClose func(b Bin, binIdx int64)) *Bin {
 	}
 	if idx <= s.curIdx {
 		back := s.curIdx - idx
-		if back >= int64(s.n) {
+		if back >= int64(depth) {
 			return nil
+		}
+		if back >= int64(s.n) {
+			// Late but within the ring's depth, before the series had
+			// grown that far back: extend it — the intervening positions
+			// have never been written since the last reset, so they
+			// already read as empty bins.
+			s.n = int(back) + 1
 		}
 		pos := s.head - int(back)
 		if pos < 0 {

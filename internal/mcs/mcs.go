@@ -230,7 +230,14 @@ func min(a, b int) int {
 // to different bit rates for different UEs because their modulation and
 // coding rates differ (Fig. 14a).
 func SpareCapacityBits(nSpareREs int, e Entry, layers int) float64 {
-	return float64(nSpareREs) * e.R() * float64(e.Qm) * float64(layers)
+	return SpareCapacityBitsExact(float64(nSpareREs), e, layers)
+}
+
+// SpareCapacityBitsExact is SpareCapacityBits for a fractional RE
+// share — the fair-share split of §5.4.1 rarely divides evenly, and
+// truncating the share to whole REs discards up to one RE per UE.
+func SpareCapacityBitsExact(spareREs float64, e Entry, layers int) float64 {
+	return spareREs * e.R() * float64(e.Qm) * float64(layers)
 }
 
 // IndexForEfficiency returns the highest MCS index in the table whose

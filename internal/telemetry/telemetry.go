@@ -114,7 +114,10 @@ func NewWindowEstimator(window time.Duration, tti time.Duration) *WindowEstimato
 func (w *WindowEstimator) WindowSlots() int { return w.windowSlots }
 
 // Add feeds one record. Retransmissions do not add throughput (the
-// same bits were counted at their first transmission).
+// same bits were counted at their first transmission). Records older
+// than the window are dropped: their ring slot has already been
+// drained, so crediting them to the position they alias would inflate
+// the window with out-of-window bits.
 func (w *WindowEstimator) Add(rec Record) {
 	if rec.IsRetx {
 		return
@@ -126,6 +129,9 @@ func (w *WindowEstimator) Add(rec Record) {
 		w.flows[k] = f
 	}
 	f.advance(rec.SlotIdx, w.windowSlots)
+	if rec.SlotIdx <= f.last-w.windowSlots {
+		return // stale: the window has moved past this slot
+	}
 	f.slots[rec.SlotIdx%w.windowSlots] += int64(rec.TBS)
 	f.total += int64(rec.TBS)
 }
@@ -196,8 +202,13 @@ type SpareCapacity struct {
 	// PerUE maps each active UE to its fair share of spare bits in the
 	// TTI (already scaled by its MCS).
 	PerUE map[uint16]float64
-	// SharePRBs is the spare REs each UE was assigned (equal shares).
+	// ShareREs is the spare REs each UE was assigned, rounded down (the
+	// integer view of ShareREsExact, kept for display).
 	ShareREs int
+	// ShareREsExact is the exact fractional per-UE share. PerUE is
+	// rated from this, so a spare smaller than the UE count still
+	// yields nonzero per-UE capacity instead of rounding to nothing.
+	ShareREsExact float64
 }
 
 // ComputeSpare runs the fair-share split for one TTI. entries maps each
@@ -217,14 +228,15 @@ func ComputeSpare(totalREs, usedREs int, ues map[uint16]UELinkState) SpareCapaci
 	if len(ues) == 0 {
 		return sc
 	}
-	share := spare / len(ues)
-	sc.ShareREs = share
+	share := float64(spare) / float64(len(ues))
+	sc.ShareREs = spare / len(ues)
+	sc.ShareREsExact = share
 	for rnti, st := range ues {
 		layers := st.Layers
 		if layers < 1 {
 			layers = 1
 		}
-		sc.PerUE[rnti] = mcs.SpareCapacityBits(share, st.Entry, layers)
+		sc.PerUE[rnti] = mcs.SpareCapacityBitsExact(share, st.Entry, layers)
 	}
 	return sc
 }

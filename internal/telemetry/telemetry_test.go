@@ -69,6 +69,41 @@ func TestWindowEstimatorSeparatesFlows(t *testing.T) {
 	}
 }
 
+// TestWindowEstimatorDropsStaleRecords: a record whose slot has already
+// left the window must be dropped, not credited to the ring position it
+// aliases — the aliased slot is still inside the window, so the stale
+// bits used to inflate the reported bitrate.
+func TestWindowEstimatorDropsStaleRecords(t *testing.T) {
+	w := NewWindowEstimator(10*time.Millisecond, tti) // 20 slots
+	w.Add(rec(100, 1, 5000, false))
+	// Slot 50 is 50 slots behind: far outside the 20-slot window. Its
+	// ring position aliases slot 90, which IS in the window.
+	w.Add(rec(50, 1, 7000, false))
+	got := w.Bitrate(1, true, 100)
+	want := 5000 / (float64(w.WindowSlots()) * tti.Seconds())
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("bitrate %.0f counts a stale record (want %.0f)", got, want)
+	}
+	// Once the window drains, the total must return to exactly zero —
+	// no phantom bits left behind.
+	if got := w.Bitrate(1, true, 300); got != 0 {
+		t.Errorf("bitrate %.0f after drain, want 0", got)
+	}
+}
+
+// TestWindowEstimatorAcceptsLateInWindow: a late record whose slot is
+// still inside the window is real traffic and must count.
+func TestWindowEstimatorAcceptsLateInWindow(t *testing.T) {
+	w := NewWindowEstimator(10*time.Millisecond, tti) // 20 slots
+	w.Add(rec(100, 1, 5000, false))
+	w.Add(rec(95, 1, 3000, false)) // 5 slots late: retained
+	got := w.Bitrate(1, true, 100)
+	want := 8000 / (float64(w.WindowSlots()) * tti.Seconds())
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("bitrate %.0f, want %.0f with the late in-window record", got, want)
+	}
+}
+
 func TestComputeSpare(t *testing.T) {
 	hi, _ := mcs.TableQAM256.Lookup(27)
 	lo, _ := mcs.TableQAM256.Lookup(5)
@@ -83,6 +118,37 @@ func TestComputeSpare(t *testing.T) {
 	// Same spare REs, different bitrates (paper Fig. 14a).
 	if sc.PerUE[1] <= sc.PerUE[2] {
 		t.Errorf("high-MCS UE spare %.0f not above low-MCS %.0f", sc.PerUE[1], sc.PerUE[2])
+	}
+}
+
+// TestComputeSpareSmallSpare: a spare smaller than the UE count used to
+// integer-divide to a zero share, reporting no spare capacity at all;
+// the share is fractional now and the remainder is never discarded.
+func TestComputeSpareSmallSpare(t *testing.T) {
+	e, _ := mcs.TableQAM64.Lookup(10)
+	ues := map[uint16]UELinkState{
+		1: {Entry: e, Layers: 1},
+		2: {Entry: e, Layers: 1},
+		3: {Entry: e, Layers: 1},
+		4: {Entry: e, Layers: 1},
+	}
+	sc := ComputeSpare(103, 100, ues) // spare 3 REs across 4 UEs
+	if sc.ShareREsExact != 0.75 {
+		t.Errorf("ShareREsExact = %v, want 0.75", sc.ShareREsExact)
+	}
+	for rnti, bits := range sc.PerUE {
+		if bits <= 0 {
+			t.Errorf("ue %d spare = %v, want > 0 for a 0.75-RE share", rnti, bits)
+		}
+	}
+	// The shares must re-assemble the whole spare: nothing discarded.
+	want := mcs.SpareCapacityBits(3, e, 1)
+	var got float64
+	for _, bits := range sc.PerUE {
+		got += bits
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("summed spare %v, want %v (remainder discarded)", got, want)
 	}
 }
 
