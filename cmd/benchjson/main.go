@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench -benchmem` output read
+// from stdin into a JSON array, one object per benchmark result line:
+//
+//	go test -bench SlotLoop -benchmem -run '^$' . | go run ./cmd/benchjson > BENCH_decode.json
+//
+// CI uses it to persist decode-path benchmark baselines as build
+// artifacts, so perf regressions are visible across commits without a
+// stateful benchmark server.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name     string  `json:"name"`
+	Procs    int     `json:"procs"`
+	Iters    int64   `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op,omitempty"`
+	AllocsOp int64   `json:"allocs_op,omitempty"`
+	// Extra holds custom units (e.g. figure-bench metrics) as unit -> value.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	var out []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			out = append(out, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if out == nil {
+		out = []result{}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `BenchmarkName-P  N  X ns/op  [Y B/op  Z allocs/op ...]`
+// line; anything else (ok/PASS/goos headers) is skipped.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(fields[0], "-"); i > 0 {
+		if p, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+			r.Name, r.Procs = fields[0][:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r.Iters = iters
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsOp = v
+		case "B/op":
+			r.BOp = int64(v)
+		case "allocs/op":
+			r.AllocsOp = int64(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
+		}
+	}
+	if r.NsOp == 0 && r.Extra == nil {
+		return result{}, false
+	}
+	return r, true
+}

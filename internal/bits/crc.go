@@ -171,6 +171,51 @@ func CheckDCICRC(block []uint8, rnti uint16) (payload []uint8, ok bool) {
 	return payload, true
 }
 
+// MatchDCICRC reports whether block (payload || scrambled CRC24) passes
+// the DCI CRC under the hypothesised RNTI. It is CheckDCICRC without the
+// payload return and without any allocation: the blind decoder runs one
+// CRC hypothesis per tracked UE per candidate position per TTI, so this
+// is the single hottest per-UE operation of the whole scope.
+func MatchDCICRC(block []uint8, rnti uint16) bool {
+	if len(block) < 24 {
+		return false
+	}
+	const n = 24
+	const mask = uint32(1)<<n - 1
+	var reg uint32
+	// CRC24C over 24 prepended ones plus the payload, registers at zero
+	// (same recurrence as CRC, inlined to keep the buffers off the heap).
+	for i := 0; i < dciCRCOnes; i++ {
+		fb := (reg>>(n-1))&1 ^ 1
+		reg = (reg << 1) & mask
+		if fb != 0 {
+			reg ^= polyCRC24C & mask
+		}
+	}
+	for _, b := range block[:len(block)-24] {
+		fb := (reg>>(n-1))&1 ^ uint32(b&1)
+		reg = (reg << 1) & mask
+		if fb != 0 {
+			reg ^= polyCRC24C & mask
+		}
+	}
+	got := block[len(block)-24:]
+	// The upper 8 CRC bits are transmitted in the clear; the lower 16 are
+	// XOR-scrambled with the RNTI (MSB-first).
+	for i := 0; i < 8; i++ {
+		if uint8(reg>>uint(n-1-i))&1 != got[i]&1 {
+			return false
+		}
+	}
+	for i := 0; i < 16; i++ {
+		want := uint8(reg>>uint(15-i))&1 ^ uint8(rnti>>uint(15-i))&1
+		if want != got[8+i]&1 {
+			return false
+		}
+	}
+	return true
+}
+
 // RecoverRNTI implements the sniffer trick the paper inherits from 4G
 // tools (§3.1.2): given a received DCI block whose CRC is scrambled with
 // an unknown RNTI, locally recompute the CRC of the payload and XOR it

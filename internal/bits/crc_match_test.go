@@ -1,0 +1,53 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+
+	"nrscope/internal/raceflag"
+)
+
+// TestMatchDCICRCAgreesWithCheck: the allocation-free matcher must agree
+// with CheckDCICRC on passing blocks, corrupted blocks and wrong RNTIs.
+func TestMatchDCICRCAgreesWithCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		payload := make([]uint8, 1+rng.Intn(120))
+		for i := range payload {
+			payload[i] = uint8(rng.Intn(2))
+		}
+		rnti := uint16(rng.Intn(1 << 16))
+		block := AttachDCICRC(payload, rnti)
+		if !MatchDCICRC(block, rnti) {
+			t.Fatalf("trial %d: fresh block rejected", trial)
+		}
+		if wrong := rnti ^ uint16(1+rng.Intn(1<<16-1)); MatchDCICRC(block, wrong) {
+			t.Fatalf("trial %d: wrong RNTI %#x accepted", trial, wrong)
+		}
+		// Any single-bit corruption must flip both verifiers the same way.
+		pos := rng.Intn(len(block))
+		block[pos] ^= 1
+		_, want := CheckDCICRC(block, rnti)
+		if got := MatchDCICRC(block, rnti); got != want {
+			t.Fatalf("trial %d: corrupted bit %d: Match %v, Check %v", trial, pos, got, want)
+		}
+	}
+	if MatchDCICRC(make([]uint8, 23), 1) {
+		t.Error("short block accepted")
+	}
+}
+
+func TestMatchDCICRCZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	payload := make([]uint8, 67)
+	block := AttachDCICRC(payload, 0x4601)
+	if n := testing.AllocsPerRun(100, func() {
+		if !MatchDCICRC(block, 0x4601) {
+			t.Fatal("match failed")
+		}
+	}); n != 0 {
+		t.Errorf("MatchDCICRC: %.1f allocs/op, want 0", n)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"nrscope/internal/bits"
 	"nrscope/internal/dci"
 	"nrscope/internal/mcs"
+	"nrscope/internal/pdcch"
 	"nrscope/internal/pdsch"
 	"nrscope/internal/phy"
 	"nrscope/internal/radio"
@@ -63,6 +64,53 @@ type decodeResult struct {
 	elapsed time.Duration
 }
 
+// slotScratch is the reusable working memory of one decodeSlot pass:
+// occupancy/claim masks for both CORESETs, the common-search-space
+// candidate list, and the position arena. Pooled on the Scope so
+// concurrent pipeline workers never share one, and steady-state slots
+// allocate nothing for any of it.
+type slotScratch struct {
+	occupied   []bool
+	claimed    []bool
+	ueOccupied []bool
+	ueClaimed  []bool
+	cssCands   []phy.Candidate
+	cssBlock   []uint8
+	arena      posArena
+}
+
+func (s *Scope) getSlotScratch() *slotScratch {
+	if sc, _ := s.slotPool.Get().(*slotScratch); sc != nil {
+		return sc
+	}
+	return &slotScratch{}
+}
+
+// ueScratch is one worker's buffers for the per-UE candidate sweep.
+type ueScratch struct {
+	cands []phy.Candidate
+	mine  []phy.Candidate
+}
+
+func (s *Scope) getUEScratch() *ueScratch {
+	if us, _ := s.uePool.Get().(*ueScratch); us != nil {
+		return us
+	}
+	return &ueScratch{}
+}
+
+// boolMask resizes buf to n entries, filled with fill.
+func boolMask(buf []bool, n int, fill bool) []bool {
+	if cap(buf) < n {
+		buf = make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = fill
+	}
+	return buf
+}
+
 // raRNTILookback is how many recent slots' RA-RNTIs are excluded from
 // new-UE discovery (a RAR's CRC recovers to the RA-RNTI of its own
 // slot; the window absorbs scheduling jitter).
@@ -94,49 +142,51 @@ func (s *Scope) decodeSlot(snap *snapshot, cap *radio.Capture) *decodeResult {
 		return res
 	}
 
+	sc := s.getSlotScratch()
+	defer s.slotPool.Put(sc)
+
 	// One DMRS-correlation sweep over the CORESET feeds both passes —
 	// this plus the demapping is the "signal processing" term of the
 	// paper's O(n log n + m) cost model. With the gate ablated, every
 	// CCE is treated as potentially occupied.
-	var occupied []bool
 	if snap.dmrsGate {
-		occupied = s.codec.OccupiedCCEs(cap.Grid, snap.coreset, cap.Ref.Slot)
+		sc.occupied = s.codec.OccupiedCCEsInto(sc.occupied, cap.Grid, snap.coreset, cap.Ref.Slot)
 	} else {
-		occupied = make([]bool, snap.coreset.NumCCE())
-		for i := range occupied {
-			occupied[i] = true
-		}
+		sc.occupied = boolMask(sc.occupied, snap.coreset.NumCCE(), true)
 	}
+	sc.claimed = boolMask(sc.claimed, len(sc.occupied), false)
 
 	// CSS pass: SIB decoding and RACH/new-UE tracking.
-	claimed := s.decodeCommon(snap, cap, res, occupied)
+	s.decodeCommon(snap, cap, res, sc)
 
 	// USS pass: DCI extraction for every known UE, sharded over the DCI
 	// threads (§4: "UE list is sharded among threads"). It needs both
 	// SIB1 (the active-BWP DCI sizes) and an RRC Setup (the UE search
 	// space) — the paper's step 1 before step 2.
 	if snap.sib1 != nil && snap.setup != nil && len(snap.rntis) > 0 {
-		s.decodeUESpace(snap, cap, res, occupied, claimed)
+		s.decodeUESpace(snap, cap, res, sc)
 	}
 	return res
 }
 
-// decodeCommon scans the common search space. It returns the CCE-claim
-// mask so the USS pass skips already-explained CCEs.
-func (s *Scope) decodeCommon(snap *snapshot, cap *radio.Capture, res *decodeResult, occupied []bool) []bool {
-	claimed := make([]bool, len(occupied))
+// decodeCommon scans the common search space, filling sc.claimed with
+// the CCE-claim mask so the USS pass skips already-explained CCEs.
+func (s *Scope) decodeCommon(snap *snapshot, cap *radio.Capture, res *decodeResult, sc *slotScratch) {
+	occupied, claimed := sc.occupied, sc.claimed
 	fallbackSize := dci.ClassSize(dci.Fallback, snap.commonCfg)
 
-	for _, cand := range phy.SlotCandidates(snap.commonSS, snap.coreset, 0, cap.Ref.Slot) {
+	sc.cssCands = phy.AppendSlotCandidates(sc.cssCands[:0], snap.commonSS, snap.coreset, 0, cap.Ref.Slot)
+	for _, cand := range sc.cssCands {
 		if !spanTrue(occupied, cand.StartCCE, cand.AggLevel) || anyTrue(claimed, cand.StartCCE, cand.AggLevel) {
 			continue
 		}
 		met.candAttempted.Inc()
-		block, err := s.codec.DecodeCandidate(cap.Grid, snap.coreset, cand, cap.Ref.Slot, fallbackSize, cap.N0)
+		block, err := s.codec.DecodeCandidateInto(sc.cssBlock, cap.Grid, snap.coreset, cand, cap.Ref.Slot, fallbackSize, cap.N0)
 		if err != nil {
 			met.decodeFailed.Inc()
 			continue
 		}
+		sc.cssBlock = block[:0]
 		payload, rnti, ok := bits.RecoverRNTI(block)
 		if !ok {
 			met.decodeFailed.Inc()
@@ -196,7 +246,6 @@ func (s *Scope) decodeCommon(snap *snapshot, cap *radio.Capture, res *decodeResu
 			markTrue(claimed, cand.StartCCE, cand.AggLevel)
 		}
 	}
-	return claimed
 }
 
 // decodeUESpace blind-decodes every known UE's search-space candidates.
@@ -207,26 +256,47 @@ func (s *Scope) decodeCommon(snap *snapshot, cap *radio.Capture, res *decodeResu
 // scrambling id), and the RNTI only appears in the CRC mask. So each
 // AL-aligned candidate position is decoded once per slot (at most
 // sum(NumCCE/AL) positions, independent of the UE count) and the per-UE
-// sweep reduces to hash-position lookups and CRC checks. The remaining
-// per-UE work is what the DCI threads shard (§4).
-func (s *Scope) decodeUESpace(snap *snapshot, cap *radio.Capture, res *decodeResult, occupied, claimed []bool) {
+// sweep reduces to hash-position lookups and CRC checks. Both halves are
+// sharded over the DCI threads (§4): the position pass stripes the
+// position list, the per-UE sweep stripes the UE list.
+func (s *Scope) decodeUESpace(snap *snapshot, cap *radio.Capture, res *decodeResult, sc *slotScratch) {
 	sizeClass := dci.Fallback
 	cfg := snap.dataCfg
 	if snap.setup.NonFallback {
 		sizeClass = dci.NonFallback
 	}
 	payloadBits := dci.ClassSize(sizeClass, cfg)
-	cache := s.decodePositions(snap, cap, payloadBits, occupied, claimed)
+
+	// The occupancy mask was swept over CORESET 0, whose CCE indexing is
+	// only valid for the UE CORESET when both cover the same control
+	// region. A dedicated UE CORESET elsewhere gets its own sweep, and
+	// the CSS claim mask (which addresses CORESET-0 CCEs) does not carry
+	// over.
+	ueOccupied, ueClaimed := sc.occupied, sc.claimed
+	if !snap.ueCoreset.SameRegion(snap.coreset) {
+		if snap.dmrsGate {
+			sc.ueOccupied = s.codec.OccupiedCCEsInto(sc.ueOccupied, cap.Grid, snap.ueCoreset, cap.Ref.Slot)
+		} else {
+			sc.ueOccupied = boolMask(sc.ueOccupied, snap.ueCoreset.NumCCE(), true)
+		}
+		sc.ueClaimed = boolMask(sc.ueClaimed, len(sc.ueOccupied), false)
+		ueOccupied, ueClaimed = sc.ueOccupied, sc.ueClaimed
+	}
+
+	ar := &sc.arena
+	s.decodePositions(snap, cap, payloadBits, ueOccupied, ueClaimed, ar)
 
 	workers := snap.threads
 	if workers > len(snap.rntis) {
 		workers = len(snap.rntis)
 	}
 	if workers <= 1 {
+		us := s.getUEScratch()
 		var out []foundDCI
 		for _, rnti := range snap.rntis {
-			out = s.decodeOneUE(snap, cap, rnti, sizeClass, cfg, cache, out)
+			out = s.decodeOneUE(snap, cap, rnti, sizeClass, cfg, ar, us, out)
 		}
+		s.uePool.Put(us)
 		res.data = out
 		return
 	}
@@ -236,11 +306,13 @@ func (s *Scope) decodeUESpace(snap *snapshot, cap *radio.Capture, res *decodeRes
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			us := s.getUEScratch()
 			var out []foundDCI
 			for i := w; i < len(snap.rntis); i += workers {
 				rnti := snap.rntis[i]
-				out = s.decodeOneUE(snap, cap, rnti, sizeClass, cfg, cache, out)
+				out = s.decodeOneUE(snap, cap, rnti, sizeClass, cfg, ar, us, out)
 			}
+			s.uePool.Put(us)
 			found[w] = out
 		}(w)
 	}
@@ -250,58 +322,170 @@ func (s *Scope) decodeUESpace(snap *snapshot, cap *radio.Capture, res *decodeRes
 	}
 }
 
-// posKey identifies an AL-aligned candidate position.
-type posKey struct {
-	al  int
-	cce int
+// posArena is the flat, indexed store of the per-slot position cache:
+// one fixed-size block slot per AL-aligned candidate position of the UE
+// search space, addressed arithmetically by (aggregation level, start
+// CCE). It replaces a map[posKey][]uint8 rebuilt every slot; the backing
+// arrays persist in the slot scratch, so steady-state slots reuse them
+// without allocating, and parallel position workers write disjoint
+// entries without coordination.
+type posArena struct {
+	blockLen int
+	counts   [len(phy.AggregationLevels)]int // positions per AL index
+	base     [len(phy.AggregationLevels)]int // first entry per AL index
+	n        int
+	blocks   []uint8 // n * blockLen hard-decision bits
+	state    []uint8 // 1 = decoded successfully
+	work     []int32 // entry indices scheduled for decoding this slot
+}
+
+// reset shapes the arena for a search space, CORESET size and block
+// length, recycling the backing arrays.
+func (a *posArena) reset(ss phy.SearchSpace, nCCE, blockLen int) {
+	a.blockLen = blockLen
+	n := 0
+	for i, al := range phy.AggregationLevels {
+		a.base[i] = n
+		a.counts[i] = 0
+		if ss.Candidates[al] == 0 || al > nCCE {
+			continue
+		}
+		a.counts[i] = nCCE / al
+		n += a.counts[i]
+	}
+	a.n = n
+	if cap(a.blocks) < n*blockLen {
+		a.blocks = make([]uint8, n*blockLen)
+	}
+	a.blocks = a.blocks[:n*blockLen]
+	if cap(a.state) < n {
+		a.state = make([]uint8, n)
+	}
+	a.state = a.state[:n]
+	for i := range a.state {
+		a.state[i] = 0
+	}
+	a.work = a.work[:0]
+}
+
+// posAt recovers the (aggregation level, start CCE) of entry idx.
+func (a *posArena) posAt(idx int) (al, cce int) {
+	for i := range a.base {
+		if a.counts[i] > 0 && idx >= a.base[i] && idx < a.base[i]+a.counts[i] {
+			al = phy.AggregationLevels[i]
+			return al, (idx - a.base[i]) * al
+		}
+	}
+	return 0, 0
+}
+
+// writeBlock returns entry idx's block storage, capacity-capped so a
+// decode into it cannot spill into the neighbouring entry.
+func (a *posArena) writeBlock(idx int) []uint8 {
+	return a.blocks[idx*a.blockLen : idx*a.blockLen : (idx+1)*a.blockLen]
+}
+
+// lookup returns the decoded block at (al, cce), if that position was
+// decoded successfully this slot.
+func (a *posArena) lookup(al, cce int) ([]uint8, bool) {
+	i := phy.ALIndex(al)
+	if i < 0 || a.counts[i] == 0 || cce%al != 0 {
+		return nil, false
+	}
+	k := cce / al
+	if k < 0 || k >= a.counts[i] {
+		return nil, false
+	}
+	idx := a.base[i] + k
+	if a.state[idx] != 1 {
+		return nil, false
+	}
+	return a.blocks[idx*a.blockLen : (idx+1)*a.blockLen], true
 }
 
 // decodePositions runs the RNTI-independent half of the blind decode for
-// every occupied, unclaimed candidate position of the UE search space.
-func (s *Scope) decodePositions(snap *snapshot, cap *radio.Capture, payloadBits int, occupied, claimed []bool) map[posKey][]uint8 {
-	cache := make(map[posKey][]uint8)
-	for _, al := range phy.AggregationLevels {
-		if snap.ueSS.Candidates[al] == 0 {
+// every occupied, unclaimed candidate position of the UE search space,
+// sharding the position list across the DCI threads. Positions whose
+// aggregation level cannot carry the payload at all are counted as empty
+// (nothing can be transmitted there), not as decode failures.
+func (s *Scope) decodePositions(snap *snapshot, cap *radio.Capture, payloadBits int, occupied, claimed []bool, ar *posArena) {
+	nCCE := snap.ueCoreset.NumCCE()
+	ar.reset(snap.ueSS, nCCE, payloadBits+24)
+	for i, al := range phy.AggregationLevels {
+		if ar.counts[i] == 0 {
 			continue
 		}
-		for cce := 0; cce+al <= snap.ueCoreset.NumCCE(); cce += al {
+		fits := pdcch.PayloadFits(payloadBits, al)
+		for cce := 0; cce+al <= nCCE; cce += al {
 			if !spanTrue(occupied, cce, al) || anyTrue(claimed, cce, al) {
 				continue
 			}
-			cand := phy.Candidate{AggLevel: al, StartCCE: cce}
-			met.positions.Inc()
-			block, err := s.codec.DecodeCandidate(cap.Grid, snap.ueCoreset, cand, cap.Ref.Slot, payloadBits, cap.N0)
-			if err != nil {
-				met.decodeFailed.Inc()
+			if !fits {
+				met.positionsEmpty.Inc()
 				continue
 			}
-			cache[posKey{al, cce}] = block
+			ar.work = append(ar.work, int32(ar.base[i]+cce/al))
 		}
 	}
-	return cache
+
+	workers := snap.threads
+	if workers > len(ar.work) {
+		workers = len(ar.work)
+	}
+	if workers <= 1 {
+		for _, idx := range ar.work {
+			s.decodePosition(snap, cap, payloadBits, ar, int(idx))
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ar.work); i += workers {
+				s.decodePosition(snap, cap, payloadBits, ar, int(ar.work[i]))
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
-// decodeOneUE sweeps one UE's candidates against the position cache. A
+// decodePosition decodes one candidate position into its arena entry.
+// Entries are disjoint, so parallel workers need no locking; the codec's
+// own scratch is pooled per call.
+func (s *Scope) decodePosition(snap *snapshot, cap *radio.Capture, payloadBits int, ar *posArena, idx int) {
+	al, cce := ar.posAt(idx)
+	cand := phy.Candidate{AggLevel: al, StartCCE: cce}
+	met.positions.Inc()
+	if _, err := s.codec.DecodeCandidateInto(ar.writeBlock(idx), cap.Grid, snap.ueCoreset, cand, cap.Ref.Slot, payloadBits, cap.N0); err != nil {
+		met.decodeFailed.Inc()
+		return
+	}
+	ar.state[idx] = 1
+}
+
+// decodeOneUE sweeps one UE's candidates against the position arena. A
 // UE can legitimately receive several DCIs in one TTI (a retransmission
 // plus new data, or a downlink assignment plus an uplink grant), so
 // every CRC-passing candidate is kept; candidates whose CCEs were
 // already explained by a previous hit of this UE are skipped.
-func (s *Scope) decodeOneUE(snap *snapshot, cap *radio.Capture, rnti uint16, sizeClass dci.SizeClass, cfg dci.Config, cache map[posKey][]uint8, out []foundDCI) []foundDCI {
-	var mine []phy.Candidate // candidates already decoded for this UE
-	for _, cand := range phy.SlotCandidates(snap.ueSS, snap.ueCoreset, rnti, cap.Ref.Slot) {
-		block, ok := cache[posKey{cand.AggLevel, cand.StartCCE}]
+func (s *Scope) decodeOneUE(snap *snapshot, cap *radio.Capture, rnti uint16, sizeClass dci.SizeClass, cfg dci.Config, ar *posArena, us *ueScratch, out []foundDCI) []foundDCI {
+	us.cands = phy.AppendSlotCandidates(us.cands[:0], snap.ueSS, snap.ueCoreset, rnti, cap.Ref.Slot)
+	us.mine = us.mine[:0] // candidates already decoded for this UE
+	for _, cand := range us.cands {
+		block, ok := ar.lookup(cand.AggLevel, cand.StartCCE)
 		if !ok {
 			continue
 		}
-		if overlapsAny(mine, cand) {
+		if overlapsAny(us.mine, cand) {
 			continue
 		}
 		met.candAttempted.Inc()
-		payload, ok := bits.CheckDCICRC(block, rnti)
-		if !ok {
+		if !bits.MatchDCICRC(block, rnti) {
 			continue // expected: most candidates belong to other UEs
 		}
-		d, err := dci.Unpack(payload, sizeClass, cfg)
+		d, err := dci.Unpack(block[:len(block)-24], sizeClass, cfg)
 		if err != nil {
 			met.decodeFailed.Inc()
 			continue
@@ -312,7 +496,7 @@ func (s *Scope) decodeOneUE(snap *snapshot, cap *radio.Capture, rnti uint16, siz
 			continue
 		}
 		met.candMatched.Inc()
-		mine = append(mine, cand)
+		us.mine = append(us.mine, cand)
 		out = append(out, foundDCI{rnti: rnti, d: d, grant: grant, cand: cand})
 	}
 	return out

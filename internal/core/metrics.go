@@ -21,18 +21,19 @@ var met = struct {
 	workerIdleNs   *obs.Counter
 
 	// Scope decode path.
-	decodeLatency *obs.Histogram
-	slots         *obs.Counter
-	positions     *obs.Counter
-	candAttempted *obs.Counter
-	candMatched   *obs.Counter
-	decodeFailed  *obs.Counter
-	crntiRecovers *obs.Counter
-	msg4Hits      *obs.Counter
-	mibAcquired   *obs.Counter
-	sib1Acquired  *obs.Counter
-	mergeDropped  *obs.Counter
-	uesTracked    *obs.Gauge
+	decodeLatency  *obs.Histogram
+	slots          *obs.Counter
+	positions      *obs.Counter
+	positionsEmpty *obs.Counter
+	candAttempted  *obs.Counter
+	candMatched    *obs.Counter
+	decodeFailed   *obs.Counter
+	crntiRecovers  *obs.Counter
+	msg4Hits       *obs.Counter
+	mibAcquired    *obs.Counter
+	sib1Acquired   *obs.Counter
+	mergeDropped   *obs.Counter
+	uesTracked     *obs.Gauge
 }{
 	queueDepth: obs.Default.Gauge("nrscope_pipeline_queue_depth",
 		"captures waiting in the pipeline input queue"),
@@ -61,6 +62,8 @@ var met = struct {
 		"slot captures run through decodeSlot"),
 	positions: obs.Default.Counter("nrscope_scope_blind_positions_decoded_total",
 		"RNTI-independent candidate positions polar-decoded per the position cache"),
+	positionsEmpty: obs.Default.Counter("nrscope_scope_blind_positions_empty_total",
+		"candidate positions skipped because no transmission is possible there (payload exceeds the aggregation level's capacity)"),
 	candAttempted: obs.Default.Counter("nrscope_scope_blind_candidates_attempted_total",
 		"blind-decode candidates attempted (CSS decodes + per-UE CRC checks)"),
 	candMatched: obs.Default.Counter("nrscope_scope_blind_candidates_matched_total",

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"nrscope/internal/bus"
@@ -180,6 +181,12 @@ type Scope struct {
 	estimator *telemetry.WindowEstimator
 	departed  []UEActivity
 	lastPurge int
+
+	// Decode-path scratch pools: per-slot working memory (masks, the
+	// position arena) and per-worker UE-sweep buffers. Pooled rather
+	// than owned so concurrent pipeline workers never contend on them.
+	slotPool sync.Pool // *slotScratch
+	uePool   sync.Pool // *ueScratch
 
 	bus *bus.Bus // optional telemetry distribution bus
 }

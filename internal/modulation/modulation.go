@@ -128,18 +128,37 @@ func Map(s Scheme, bitstream []uint8) []complex128 {
 // Demap produces max-log LLRs for each bit of each symbol under AWGN with
 // noise variance n0 (total, both dimensions). Positive LLR favours bit 0.
 func Demap(s Scheme, symbols []complex128, n0 float64) []float64 {
+	return DemapInto(nil, s, symbols, n0)
+}
+
+// DemapInto is Demap writing into dst (reused when its capacity covers
+// len(symbols)·Qm, so per-candidate demapping on the blind-decode hot
+// path is allocation free). It returns the LLR slice.
+func DemapInto(dst []float64, s Scheme, symbols []complex128, n0 float64) []float64 {
 	if n0 <= 0 {
 		n0 = 1e-12
 	}
 	qm := s.BitsPerSymbol()
+	if cap(dst) < len(symbols)*qm {
+		dst = make([]float64, len(symbols)*qm)
+	}
+	dst = dst[:len(symbols)*qm]
+	if s == QPSK {
+		// One level per sign: the max-log LLR collapses to 4·a·y/n0.
+		scale := 4 * qpskAmp / n0
+		for k, sym := range symbols {
+			dst[2*k] = scale * real(sym)
+			dst[2*k+1] = scale * imag(sym)
+		}
+		return dst
+	}
 	half := s.pamBits()
 	levels, labels := pamTable(s)
-	out := make([]float64, len(symbols)*qm)
 	for k, sym := range symbols {
-		demapAxis(real(sym), levels, labels, half, n0, out[k*qm:], 0)
-		demapAxis(imag(sym), levels, labels, half, n0, out[k*qm:], 1)
+		demapAxis(real(sym), levels, labels, half, n0, dst[k*qm:], 0)
+		demapAxis(imag(sym), levels, labels, half, n0, dst[k*qm:], 1)
 	}
-	return out
+	return dst
 }
 
 // demapAxis writes the LLRs of one axis into out at positions
@@ -163,23 +182,42 @@ func demapAxis(y float64, levels []float64, labels [][]uint8, half int, n0 float
 	}
 }
 
-// pamTable enumerates the normalised PAM levels of one axis together with
-// their bit labels.
-func pamTable(s Scheme) (levels []float64, labels [][]uint8) {
-	half := s.pamBits()
-	n := 1 << uint(half)
-	norm := s.norm()
-	levels = make([]float64, n)
-	labels = make([][]uint8, n)
-	for v := 0; v < n; v++ {
-		bits := make([]uint8, half)
-		for j := 0; j < half; j++ {
-			bits[j] = uint8(v>>uint(half-1-j)) & 1
+// qpskAmp is the per-axis QPSK amplitude (1/√2 under unit energy).
+var qpskAmp = QPSK.norm()
+
+// pamTables caches the per-axis level/label enumeration of every scheme:
+// Demap used to rebuild it per call, which dominated its allocation
+// profile. Index is pamBits (1, 2, 3, 4).
+var pamTables [5]struct {
+	levels []float64
+	labels [][]uint8
+}
+
+func init() {
+	for _, s := range []Scheme{QPSK, QAM16, QAM64, QAM256} {
+		half := s.pamBits()
+		n := 1 << uint(half)
+		norm := s.norm()
+		levels := make([]float64, n)
+		labels := make([][]uint8, n)
+		for v := 0; v < n; v++ {
+			bits := make([]uint8, half)
+			for j := 0; j < half; j++ {
+				bits[j] = uint8(v>>uint(half-1-j)) & 1
+			}
+			levels[v] = grayPAM(bits) * norm
+			labels[v] = bits
 		}
-		levels[v] = grayPAM(bits) * norm
-		labels[v] = bits
+		pamTables[half].levels = levels
+		pamTables[half].labels = labels
 	}
-	return levels, labels
+}
+
+// pamTable returns the cached normalised PAM levels of one axis together
+// with their bit labels.
+func pamTable(s Scheme) (levels []float64, labels [][]uint8) {
+	t := pamTables[s.pamBits()]
+	return t.levels, t.labels
 }
 
 // HardDecision slices LLRs to bits: negative LLR -> 1.

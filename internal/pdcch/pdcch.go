@@ -10,6 +10,14 @@
 // exposes a DMRS correlation detector so the scope can skip candidates
 // that plainly carry no transmission — the standard trick for keeping
 // blind decoding cheap.
+//
+// Everything a candidate decode needs that does not depend on the
+// received grid is cached on the Codec: candidate RE layouts per
+// (CORESET, aggregation level, start CCE), DMRS reference symbols per
+// (CORESET, slot), Gold sequence prefixes per cinit, and polar code
+// constructions per (K, E). Together with pooled demap scratch and the
+// buffer-reusing DecodeCandidateInto / polar.DecodeInto variants, the
+// steady-state per-candidate decode path performs no heap allocation.
 package pdcch
 
 import (
@@ -23,24 +31,57 @@ import (
 	"nrscope/internal/polar"
 )
 
-// Codec carries the cell-specific scrambling context and caches of
-// polar code constructions and Gold sequences (whose 1600-bit burn-in
-// would otherwise dominate per-candidate decoding cost). It is safe for
-// concurrent use.
+// Codec carries the cell-specific scrambling context and the candidate
+// decode caches. It is safe for concurrent use; cache entries are
+// immutable once published, so readers share them without copying.
 type Codec struct {
 	cellID uint16
 
-	mu    sync.RWMutex
-	codes map[[2]int]*polar.Code // (K, E) -> construction
-	gold  map[uint32][]uint8     // cinit -> sequence prefix
+	mu      sync.RWMutex
+	codes   map[[2]int]*polar.Code   // (K, E) -> construction
+	gold    map[uint32][]uint8       // cinit -> sequence prefix
+	layouts map[layoutKey]*layout    // candidate position -> RE geometry
+	dmrs    map[dmrsKey][]complex128 // (CORESET, slot) -> DMRS reference
+
+	scratch sync.Pool // *decodeScratch, reused across DecodeCandidate calls
+}
+
+// layoutKey identifies one candidate position within a CORESET.
+type layoutKey struct {
+	cs  phy.CORESET
+	al  int
+	cce int
+}
+
+// dmrsKey identifies one (CORESET, slot-in-frame) DMRS reference table.
+type dmrsKey struct {
+	cs   phy.CORESET
+	slot int
+}
+
+// layout is the immutable RE geometry of one candidate position: its
+// data REs in mapping order, its DMRS REs, and for each DMRS RE the
+// index into the per-(CORESET, slot) reference table.
+type layout struct {
+	data   []phy.RE
+	dmrs   []phy.RE
+	refIdx []int32
+}
+
+// decodeScratch is the pooled working memory of one candidate decode.
+type decodeScratch struct {
+	syms []complex128
+	llr  []float64
 }
 
 // New returns a codec for the given physical cell id.
 func New(cellID uint16) *Codec {
 	return &Codec{
-		cellID: cellID,
-		codes:  make(map[[2]int]*polar.Code),
-		gold:   make(map[uint32][]uint8),
+		cellID:  cellID,
+		codes:   make(map[[2]int]*polar.Code),
+		gold:    make(map[uint32][]uint8),
+		layouts: make(map[layoutKey]*layout),
+		dmrs:    make(map[dmrsKey][]complex128),
 	}
 }
 
@@ -90,31 +131,72 @@ func (c *Codec) code(k, e int) (*polar.Code, error) {
 	return pc, nil
 }
 
-// dmrsSymbols generates the candidate's DMRS QPSK symbols for a slot.
-// DMRS is derived from the cell id and slot/symbol indices only, so a
-// passive observer can regenerate it without UE state.
-func (c *Codec) dmrsSymbols(cs phy.CORESET, cand phy.Candidate, slot int) []complex128 {
-	res := cs.CandidateDMRSREs(cand.StartCCE, cand.AggLevel)
-	out := make([]complex128, len(res))
-	// Group by symbol: one Gold sequence per OFDM symbol.
-	bySym := make(map[int][]int) // symbol -> positions in res
-	for i, re := range res {
-		bySym[re.Symbol] = append(bySym[re.Symbol], i)
+// layout returns the cached RE geometry of a candidate position,
+// building it on first use. The cache is bounded by the candidate
+// position space: sum over aggregation levels of NumCCE/L entries per
+// CORESET.
+func (c *Codec) layout(cs phy.CORESET, cand phy.Candidate) *layout {
+	key := layoutKey{cs: cs, al: cand.AggLevel, cce: cand.StartCCE}
+	c.mu.RLock()
+	lay := c.layouts[key]
+	c.mu.RUnlock()
+	if lay != nil {
+		return lay
 	}
-	for sym, idxs := range bySym {
-		seq := c.goldSeq(bits.PDCCHDMRSInit(slot, sym, c.cellID), 2*cs.NumPRB*len(phy.REGDMRSOffsets))
-		// Each DMRS RE consumes two sequence bits (QPSK). Index the
-		// sequence by the RE's subcarrier so encoder and decoder agree
-		// regardless of enumeration order.
-		for _, i := range idxs {
-			sc := res[i].Subcarrier
-			k := sc % (cs.NumPRB * phy.SubcarriersPerPRB) / 4 // DMRS every 4th subcarrier
-			b0 := seq[(2*k)%len(seq)]
-			b1 := seq[(2*k+1)%len(seq)]
-			out[i] = complex((1-2*float64(b0))/math.Sqrt2, (1-2*float64(b1))/math.Sqrt2)
+	lay = &layout{
+		data: cs.CandidateDataREs(cand.StartCCE, cand.AggLevel),
+		dmrs: cs.CandidateDMRSREs(cand.StartCCE, cand.AggLevel),
+	}
+	perSym := cs.NumPRB * len(phy.REGDMRSOffsets)
+	lay.refIdx = make([]int32, len(lay.dmrs))
+	for i, re := range lay.dmrs {
+		// DMRS rides every 4th subcarrier; index the reference table by
+		// the RE's subcarrier so encoder and decoder agree regardless of
+		// enumeration order.
+		k := re.Subcarrier % (cs.NumPRB * phy.SubcarriersPerPRB) / 4
+		lay.refIdx[i] = int32((re.Symbol-cs.StartSym)*perSym + k)
+	}
+	c.mu.Lock()
+	if prev := c.layouts[key]; prev != nil {
+		lay = prev
+	} else {
+		c.layouts[key] = lay
+	}
+	c.mu.Unlock()
+	return lay
+}
+
+// dmrsRef returns the cached DMRS reference symbols of a CORESET for a
+// slot: one QPSK symbol per DMRS subcarrier per CORESET OFDM symbol,
+// flattened symbol-major. DMRS is derived from the cell id and
+// slot/symbol indices only, so a passive observer can regenerate it
+// without UE state; slot indices recur every frame, keeping the cache
+// bounded at slots-per-frame entries per CORESET.
+func (c *Codec) dmrsRef(cs phy.CORESET, slot int) []complex128 {
+	key := dmrsKey{cs: cs, slot: slot}
+	c.mu.RLock()
+	ref := c.dmrs[key]
+	c.mu.RUnlock()
+	if ref != nil {
+		return ref
+	}
+	perSym := cs.NumPRB * len(phy.REGDMRSOffsets)
+	ref = make([]complex128, cs.Duration*perSym)
+	for d := 0; d < cs.Duration; d++ {
+		seq := c.goldSeq(bits.PDCCHDMRSInit(slot, cs.StartSym+d, c.cellID), 2*perSym)
+		for k := 0; k < perSym; k++ {
+			b0, b1 := seq[2*k%len(seq)], seq[(2*k+1)%len(seq)]
+			ref[d*perSym+k] = complex((1-2*float64(b0))/math.Sqrt2, (1-2*float64(b1))/math.Sqrt2)
 		}
 	}
-	return out
+	c.mu.Lock()
+	if prev := c.dmrs[key]; prev != nil {
+		ref = prev
+	} else {
+		c.dmrs[key] = ref
+	}
+	c.mu.Unlock()
+	return ref
 }
 
 // Encode writes one DCI transmission onto the grid: payload bits are
@@ -134,17 +216,16 @@ func (c *Codec) Encode(g *phy.Grid, cs phy.CORESET, cand phy.Candidate, slot int
 		coded[i] ^= scr[i]
 	}
 	syms := modulation.Map(modulation.QPSK, coded)
-	res := cs.CandidateDataREs(cand.StartCCE, cand.AggLevel)
-	if len(syms) != len(res) {
-		return fmt.Errorf("pdcch: %d symbols for %d REs", len(syms), len(res))
+	lay := c.layout(cs, cand)
+	if len(syms) != len(lay.data) {
+		return fmt.Errorf("pdcch: %d symbols for %d REs", len(syms), len(lay.data))
 	}
-	for i, re := range res {
+	for i, re := range lay.data {
 		g.Set(re.Symbol, re.Subcarrier, syms[i])
 	}
-	dmrs := c.dmrsSymbols(cs, cand, slot)
-	dres := cs.CandidateDMRSREs(cand.StartCCE, cand.AggLevel)
-	for i, re := range dres {
-		g.Set(re.Symbol, re.Subcarrier, dmrs[i])
+	ref := c.dmrsRef(cs, slot)
+	for i, re := range lay.dmrs {
+		g.Set(re.Symbol, re.Subcarrier, ref[lay.refIdx[i]])
 	}
 	return nil
 }
@@ -152,19 +233,20 @@ func (c *Codec) Encode(g *phy.Grid, cs phy.CORESET, cand phy.Candidate, slot int
 // DMRSMetric correlates the candidate's pilot REs against the expected
 // DMRS. It returns a normalised metric in [-1, 1]; values near 1 mean a
 // PDCCH transmission is present on the candidate. Empty or noise-only
-// candidates score near zero.
+// candidates score near zero. The layout and reference symbols come from
+// the codec caches, so the steady-state call is allocation free.
 func (c *Codec) DMRSMetric(g *phy.Grid, cs phy.CORESET, cand phy.Candidate, slot int) float64 {
-	dmrs := c.dmrsSymbols(cs, cand, slot)
-	res := cs.CandidateDMRSREs(cand.StartCCE, cand.AggLevel)
+	lay := c.layout(cs, cand)
+	ref := c.dmrsRef(cs, slot)
 	var corr complex128
 	var energy float64
-	for i, re := range res {
+	for i, re := range lay.dmrs {
 		rx := g.At(re.Symbol, re.Subcarrier)
-		ref := dmrs[i]
-		corr += rx * complex(real(ref), -imag(ref))
+		r := ref[lay.refIdx[i]]
+		corr += rx * complex(real(r), -imag(r))
 		energy += real(rx)*real(rx) + imag(rx)*imag(rx)
 	}
-	n := float64(len(res))
+	n := float64(len(lay.dmrs))
 	if energy == 0 {
 		return 0
 	}
@@ -188,11 +270,30 @@ func (c *Codec) CCEMetric(g *phy.Grid, cs phy.CORESET, cce, slot int) float64 {
 // OccupiedCCEs scans the CORESET and returns, per CCE, whether its DMRS
 // correlation clears the detection threshold.
 func (c *Codec) OccupiedCCEs(g *phy.Grid, cs phy.CORESET, slot int) []bool {
-	out := make([]bool, cs.NumCCE())
-	for i := range out {
-		out[i] = c.CCEMetric(g, cs, i, slot) >= DMRSThreshold
+	return c.OccupiedCCEsInto(nil, g, cs, slot)
+}
+
+// OccupiedCCEsInto is OccupiedCCEs writing into dst (reused when its
+// capacity covers the CORESET), so the per-slot occupancy sweep does not
+// allocate at steady state.
+func (c *Codec) OccupiedCCEsInto(dst []bool, g *phy.Grid, cs phy.CORESET, slot int) []bool {
+	n := cs.NumCCE()
+	if cap(dst) < n {
+		dst = make([]bool, n)
 	}
-	return out
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = c.CCEMetric(g, cs, i, slot) >= DMRSThreshold
+	}
+	return dst
+}
+
+// PayloadFits reports whether a payload of the given size can be carried
+// at the aggregation level at all (a polar code for it exists). The
+// blind decoder skips infeasible positions without counting them as
+// decode failures: no transmission is possible there.
+func PayloadFits(payloadBits, aggLevel int) bool {
+	return polar.Feasible(payloadBits+24, aggLevel*phy.BitsPerCCE)
 }
 
 // DecodeCandidate runs the inverse chain on one candidate and returns
@@ -200,18 +301,35 @@ func (c *Codec) OccupiedCCEs(g *phy.Grid, cs phy.CORESET, slot int) []bool {
 // size. The caller verifies the CRC (with a known RNTI) or recovers the
 // RNTI from it. n0 is the receiver's noise variance estimate.
 func (c *Codec) DecodeCandidate(g *phy.Grid, cs phy.CORESET, cand phy.Candidate, slot int, payloadBits int, n0 float64) ([]uint8, error) {
+	return c.DecodeCandidateInto(nil, g, cs, cand, slot, payloadBits, n0)
+}
+
+// DecodeCandidateInto is DecodeCandidate writing the hard-decision block
+// into dst (reused when its capacity covers payloadBits+24 bits). With a
+// warm cache the call performs no heap allocation: RE layout, scrambling
+// sequence and polar construction come from the codec caches, and the
+// demap/descramble working buffers from a pool.
+func (c *Codec) DecodeCandidateInto(dst []uint8, g *phy.Grid, cs phy.CORESET, cand phy.Candidate, slot int, payloadBits int, n0 float64) ([]uint8, error) {
 	k := payloadBits + 24
 	e := cand.AggLevel * phy.BitsPerCCE
 	pc, err := c.code(k, e)
 	if err != nil {
 		return nil, fmt.Errorf("pdcch: %w", err)
 	}
-	res := cs.CandidateDataREs(cand.StartCCE, cand.AggLevel)
-	syms := make([]complex128, len(res))
-	for i, re := range res {
+	lay := c.layout(cs, cand)
+	sc, _ := c.scratch.Get().(*decodeScratch)
+	if sc == nil {
+		sc = &decodeScratch{}
+	}
+	if cap(sc.syms) < len(lay.data) {
+		sc.syms = make([]complex128, len(lay.data))
+	}
+	syms := sc.syms[:len(lay.data)]
+	for i, re := range lay.data {
 		syms[i] = g.At(re.Symbol, re.Subcarrier)
 	}
-	llr := modulation.Demap(modulation.QPSK, syms, n0)
+	llr := modulation.DemapInto(sc.llr, modulation.QPSK, syms, n0)
+	sc.llr = llr
 	// Descramble in the LLR domain: a scrambling bit of 1 flips the sign.
 	seq := c.goldSeq(bits.PDCCHScramblingInit(0, c.cellID), len(llr))
 	for i := range llr {
@@ -219,5 +337,7 @@ func (c *Codec) DecodeCandidate(g *phy.Grid, cs phy.CORESET, cand phy.Candidate,
 			llr[i] = -llr[i]
 		}
 	}
-	return pc.Decode(llr), nil
+	out := pc.DecodeInto(dst, llr)
+	c.scratch.Put(sc)
+	return out, nil
 }

@@ -28,6 +28,25 @@ const (
 // AggregationLevels enumerates the valid DCI aggregation levels.
 var AggregationLevels = [5]int{1, 2, 4, 8, 16}
 
+// ALIndex returns the index of aggregation level l within
+// AggregationLevels, or -1 when l is not a valid level. Flat per-position
+// data structures (the blind decoder's position arena) index by it.
+func ALIndex(l int) int {
+	switch l {
+	case 1:
+		return 0
+	case 2:
+		return 1
+	case 4:
+		return 2
+	case 8:
+		return 3
+	case 16:
+		return 4
+	}
+	return -1
+}
+
 // CORESET describes a control resource set: a block of PRBs over one or
 // two leading OFDM symbols of the slot.
 type CORESET struct {
@@ -55,6 +74,16 @@ func (c CORESET) Validate() error {
 
 // NumCCE returns the CORESET capacity in CCEs.
 func (c CORESET) NumCCE() int { return c.NumPRB * c.Duration / REGsPerCCE }
+
+// SameRegion reports whether two CORESETs cover the same control-region
+// resource elements (identical geometry; the ID — and with it the
+// search-space hashing family — may differ). CCE indices, and therefore
+// occupancy masks, are interchangeable exactly between same-region
+// CORESETs.
+func (c CORESET) SameRegion(o CORESET) bool {
+	return c.StartPRB == o.StartPRB && c.NumPRB == o.NumPRB &&
+		c.Duration == o.Duration && c.StartSym == o.StartSym
+}
 
 // REGPosition returns the (prb, symbol) of REG index r under the
 // time-first REG numbering of TS 38.211 §7.3.2.2: REGs are numbered in
@@ -188,15 +217,21 @@ type Candidate struct {
 // slot, across all aggregation levels, in decreasing-level order (the
 // order real blind decoders use: fewer large candidates first).
 func SlotCandidates(ss SearchSpace, cs CORESET, rnti uint16, slot int) []Candidate {
-	var out []Candidate
+	return AppendSlotCandidates(nil, ss, cs, rnti, slot)
+}
+
+// AppendSlotCandidates is SlotCandidates appending into dst, so per-UE
+// candidate enumeration in the per-TTI blind-decode loop can reuse one
+// buffer per worker instead of allocating per UE per slot.
+func AppendSlotCandidates(dst []Candidate, ss SearchSpace, cs CORESET, rnti uint16, slot int) []Candidate {
 	for i := len(AggregationLevels) - 1; i >= 0; i-- {
 		l := AggregationLevels[i]
 		mL := ss.Candidates[l]
 		for m := 0; m < mL; m++ {
 			if cce, ok := CandidateCCE(ss, cs, rnti, slot, l, m); ok {
-				out = append(out, Candidate{AggLevel: l, Index: m, StartCCE: cce})
+				dst = append(dst, Candidate{AggLevel: l, Index: m, StartCCE: cce})
 			}
 		}
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,69 @@
+package polar
+
+import (
+	"math/rand"
+	"testing"
+
+	"nrscope/internal/raceflag"
+)
+
+// TestDecodeIntoMatchesDecode: the buffer-reusing variant must return
+// the same information bits as Decode, with and without a warm dst.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var buf []uint8
+	for _, ke := range [][2]int{{54, 108}, {67, 108}, {94, 216}, {64, 1728}} {
+		c, err := NewCode(ke[0], ke[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := randomBits(rng, c.K)
+		llr := bpskLLR(c.Encode(info), 8)
+		want := c.Decode(llr)
+		got := c.DecodeInto(buf, llr)
+		buf = got[:0]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("(%d,%d): bit %d differs", ke[0], ke[1], i)
+			}
+		}
+	}
+}
+
+// TestDecodeIntoZeroAllocWarm: with the scratch pool warm and a reused
+// dst, a decode performs no heap allocation.
+func TestDecodeIntoZeroAllocWarm(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	rng := rand.New(rand.NewSource(22))
+	c, err := NewCode(67, 432)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llr := bpskLLR(c.Encode(randomBits(rng, c.K)), 8)
+	dst := c.Decode(llr) // warm the pool and size dst
+	if n := testing.AllocsPerRun(100, func() {
+		dst = c.DecodeInto(dst, llr)
+	}); n != 0 {
+		t.Errorf("DecodeInto: %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestFeasibleMatchesNewCode: Feasible must predict NewCode's outcome
+// exactly — the blind decoder trusts it to classify candidate positions
+// as untransmittable without constructing a code.
+func TestFeasibleMatchesNewCode(t *testing.T) {
+	es := []int{12, 24, 54, 108, 216, 432, 864, 1728}
+	for _, e := range es {
+		for k := 0; k <= 620; k++ {
+			_, err := NewCode(k, e)
+			if got, want := Feasible(k, e), err == nil; got != want {
+				t.Fatalf("Feasible(%d, %d) = %v, NewCode err = %v", k, e, got, err)
+			}
+		}
+	}
+	if Feasible(10, 0) {
+		t.Error("Feasible(10, 0) = true")
+	}
+}

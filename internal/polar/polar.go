@@ -38,9 +38,10 @@ type Code struct {
 	E int // rate-matched bits out
 	N int // mother code length (power of two)
 
-	punct    int    // number of punctured (untransmitted) leading coded bits
-	infoPos  []int  // input indices carrying information, ascending
-	isFrozen []bool // frozen mask over the N input positions
+	punct      int     // number of punctured (untransmitted) leading coded bits
+	infoPos    []int   // input indices carrying information, ascending
+	isFrozen   []bool  // frozen mask over the N input positions
+	frozenUpTo []int32 // prefix sums of isFrozen, length N+1 (rate-0 pruning)
 
 	scratch sync.Pool // *scScratch, reused across Decode calls
 }
@@ -82,6 +83,25 @@ func motherLength(k, e int) int {
 		n <<= 1
 	}
 	return n
+}
+
+// Feasible reports whether a (K, E) polar code exists under the same
+// rules NewCode enforces, without constructing it. Blind decoders use it
+// to skip candidate positions whose aggregation level cannot carry the
+// hypothesised payload at all (no transmission is possible there).
+func Feasible(k, e int) bool {
+	if k < 1 || e < k {
+		return false
+	}
+	n := motherLength(k, e)
+	if k > n {
+		return false
+	}
+	punct := 0
+	if e < n {
+		punct = n - e
+	}
+	return k <= n-punct
 }
 
 // construct selects the frozen set: the punctured prefix indices are
@@ -139,6 +159,22 @@ func (c *Code) construct() {
 		frozenCount--
 	}
 	_ = frozenCount
+	// Prefix sums over the frozen mask let the decoder test "is the
+	// subtree [base, base+n) entirely frozen?" in O(1) (rate-0 pruning).
+	c.frozenUpTo = make([]int32, c.N+1)
+	for i, f := range c.isFrozen {
+		c.frozenUpTo[i+1] = c.frozenUpTo[i]
+		if f {
+			c.frozenUpTo[i+1]++
+		}
+	}
+}
+
+// allFrozen reports whether every input position in [base, base+n) is
+// frozen, i.e. the subtree is a rate-0 node whose partial sums are all
+// zero regardless of the channel LLRs.
+func (c *Code) allFrozen(base, n int) bool {
+	return c.frozenUpTo[base+n]-c.frozenUpTo[base] == int32(n)
 }
 
 // Encode maps K information bits to E rate-matched channel bits.
@@ -202,6 +238,13 @@ func (c *Code) newScratch() *scScratch {
 // (positive LLR means bit 0 more likely) and returns the K decoded
 // information bits. It panics if len(llr) != E.
 func (c *Code) Decode(llr []float64) []uint8 {
+	return c.DecodeInto(nil, llr)
+}
+
+// DecodeInto is Decode writing the K information bits into dst (reused
+// when its capacity suffices, so steady-state decoding is allocation
+// free). It returns the K-bit result slice.
+func (c *Code) DecodeInto(dst []uint8, llr []float64) []uint8 {
 	if len(llr) != c.E {
 		panic(fmt.Sprintf("polar: Decode got %d LLRs, code has E = %d", len(llr), c.E))
 	}
@@ -220,11 +263,14 @@ func (c *Code) Decode(llr []float64) []uint8 {
 		s.chLLR[c.punct+i%sent] += llr[i]
 	}
 	c.scDecode(s, s.chLLR, s.sums, 0, 0)
-	out := make([]uint8, c.K)
-	for i, p := range c.infoPos {
-		out[i] = s.u[p]
+	if cap(dst) < c.K {
+		dst = make([]uint8, c.K)
 	}
-	return out
+	dst = dst[:c.K]
+	for i, p := range c.infoPos {
+		dst[i] = s.u[p]
+	}
+	return dst
 }
 
 // scDecode processes the subtree whose LLRs are llr (length N>>depth)
@@ -243,11 +289,28 @@ func (c *Code) scDecode(s *scScratch, llr []float64, out []uint8, base, depth in
 	}
 	half := n / 2
 	tmp := s.levels[depth] // length half
-	// f step: LLRs for the left subtree.
-	for i := 0; i < half; i++ {
-		tmp[i] = fLLR(llr[i], llr[i+half])
+	if c.allFrozen(base, half) {
+		// Rate-0 left subtree: its bits and partial sums are all zero by
+		// definition, so skip the f step and the recursion entirely. The
+		// leaf decisions in s.u for those positions were zeroed when the
+		// subtree was last visited with content — frozen positions are
+		// never read back by DecodeInto, so only out must be cleared.
+		for i := 0; i < half; i++ {
+			out[i] = 0
+		}
+	} else {
+		// f step: LLRs for the left subtree.
+		for i := 0; i < half; i++ {
+			tmp[i] = fLLR(llr[i], llr[i+half])
+		}
+		c.scDecode(s, tmp, out[:half], base, depth+1)
 	}
-	c.scDecode(s, tmp, out[:half], base, depth+1)
+	if c.allFrozen(base+half, half) {
+		for i := half; i < n; i++ {
+			out[i] = 0
+		}
+		return // combine is a no-op when the right half is all zero
+	}
 	// g step: LLRs for the right subtree given left partial sums.
 	for i := 0; i < half; i++ {
 		tmp[i] = gLLR(llr[i], llr[i+half], out[i])
@@ -259,21 +322,19 @@ func (c *Code) scDecode(s *scScratch, llr []float64, out []uint8, base, depth in
 	}
 }
 
-// fLLR is the min-sum check-node update.
+// fLLR is the min-sum check-node update: |result| = min(|a|, |b|),
+// sign(result) = sign(a)·sign(b), computed branch-free on the IEEE 754
+// bit patterns (Float64bits/frombits compile to plain register moves).
 func fLLR(a, b float64) float64 {
-	s := 1.0
-	if a < 0 {
-		s = -s
-		a = -a
+	ab := math.Float64bits(a)
+	bb := math.Float64bits(b)
+	sign := (ab ^ bb) & (1 << 63)
+	ab &^= 1 << 63
+	bb &^= 1 << 63
+	if bb < ab {
+		ab = bb
 	}
-	if b < 0 {
-		s = -s
-		b = -b
-	}
-	if a < b {
-		return s * a
-	}
-	return s * b
+	return math.Float64frombits(ab | sign)
 }
 
 // gLLR is the variable-node update given the decoded upper bit.

@@ -1,0 +1,6 @@
+//go:build !race
+
+package raceflag
+
+// Enabled reports whether the build carries the race detector.
+const Enabled = false
