@@ -1,0 +1,144 @@
+// Command benchgate enforces benchmark invariants against a benchjson
+// artifact: given a baseline benchmark name and a target benchmark name
+// (matched as substrings of the artifact's entries), it fails the build
+// unless the target is at least -min-speedup times faster than the
+// baseline, and unless every matched entry stays within -max-allocs
+// allocations per operation.
+//
+//	go test ./internal/shard -bench MetroCapture -benchmem -run '^$' |
+//	    go run ./cmd/benchjson > BENCH_metro.json
+//	go run ./cmd/benchgate -json BENCH_metro.json \
+//	    -base shards=1 -target shards=4 -min-speedup 2.5 -max-allocs 2
+//
+// CI's metro bench job uses it to turn the sharded-scaling claim into a
+// build gate: the 4-shard run must sustain >= 2.5x the 1-shard
+// throughput on the same scenario, alloc-free in steady state.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// result mirrors cmd/benchjson's output schema.
+type result struct {
+	Name     string             `json:"name"`
+	Procs    int                `json:"procs"`
+	Iters    int64              `json:"iters"`
+	NsOp     float64            `json:"ns_op"`
+	BOp      int64              `json:"b_op,omitempty"`
+	AllocsOp int64              `json:"allocs_op,omitempty"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	var (
+		jsonPath   = flag.String("json", "", "benchjson artifact to check (required)")
+		bench      = flag.String("bench", "", "only consider entries whose name contains this substring (optional)")
+		base       = flag.String("base", "", "baseline entry: the unique considered entry whose name contains this substring")
+		target     = flag.String("target", "", "target entry: the unique considered entry whose name contains this substring")
+		minSpeedup = flag.Float64("min-speedup", 0, "fail unless target is at least this many times faster than base (0 = skip)")
+		maxAllocs  = flag.Int64("max-allocs", -1, "fail if any considered entry reports more allocs/op than this (-1 = skip)")
+	)
+	flag.Parse()
+	if *jsonPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -json is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*jsonPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	var results []result
+	if err := json.Unmarshal(data, &results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *jsonPath, err)
+		os.Exit(2)
+	}
+	report, err := gate(results, *bench, *base, *target, *minSpeedup, *maxAllocs)
+	for _, line := range report {
+		fmt.Println("benchgate:", line)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}
+
+// gate checks the invariants and returns a human-readable report plus
+// the first violation (nil if all hold).
+func gate(results []result, bench, base, target string, minSpeedup float64, maxAllocs int64) ([]string, error) {
+	considered := results
+	if bench != "" {
+		considered = nil
+		for _, r := range results {
+			if strings.Contains(r.Name, bench) {
+				considered = append(considered, r)
+			}
+		}
+	}
+	if len(considered) == 0 {
+		return nil, fmt.Errorf("no benchmark entries matched %q", bench)
+	}
+	var report []string
+
+	if maxAllocs >= 0 {
+		for _, r := range considered {
+			report = append(report, fmt.Sprintf("%s: %d allocs/op (limit %d)", r.Name, r.AllocsOp, maxAllocs))
+			if r.AllocsOp > maxAllocs {
+				return report, fmt.Errorf("%s reports %d allocs/op, limit %d", r.Name, r.AllocsOp, maxAllocs)
+			}
+		}
+	}
+
+	if minSpeedup > 0 {
+		b, err := unique(considered, base, "base")
+		if err != nil {
+			return report, err
+		}
+		t, err := unique(considered, target, "target")
+		if err != nil {
+			return report, err
+		}
+		if b.NsOp <= 0 || t.NsOp <= 0 {
+			return report, fmt.Errorf("ns/op missing: base %v, target %v", b.NsOp, t.NsOp)
+		}
+		speedup := b.NsOp / t.NsOp
+		report = append(report, fmt.Sprintf("%s vs %s: %.2fx throughput (floor %.2fx)",
+			t.Name, b.Name, speedup, minSpeedup))
+		if speedup < minSpeedup {
+			return report, fmt.Errorf("target %s is %.2fx the baseline %s; floor is %.2fx",
+				t.Name, speedup, b.Name, minSpeedup)
+		}
+	}
+	return report, nil
+}
+
+// unique finds the single entry whose name contains the substring.
+func unique(results []result, sub, role string) (result, error) {
+	if sub == "" {
+		return result{}, fmt.Errorf("-min-speedup needs -%s", role)
+	}
+	var found []result
+	for _, r := range results {
+		if strings.Contains(r.Name, sub) {
+			found = append(found, r)
+		}
+	}
+	switch len(found) {
+	case 0:
+		return result{}, fmt.Errorf("no entry matches %s %q", role, sub)
+	case 1:
+		return found[0], nil
+	default:
+		names := make([]string, len(found))
+		for i, r := range found {
+			names[i] = r.Name
+		}
+		return result{}, fmt.Errorf("%s %q is ambiguous: %s", role, sub, strings.Join(names, ", "))
+	}
+}

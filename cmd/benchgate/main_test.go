@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func metroResults() []result {
+	return []result{
+		{Name: "BenchmarkMetroCapture/shards=1/cells=200/ues=512", Procs: 4, Iters: 300000, NsOp: 1000, AllocsOp: 0},
+		{Name: "BenchmarkMetroCapture/shards=4/cells=200/ues=512", Procs: 4, Iters: 300000, NsOp: 320, AllocsOp: 0},
+		{Name: "BenchmarkUnrelated", Procs: 4, Iters: 1000, NsOp: 50, AllocsOp: 99},
+	}
+}
+
+func TestGatePassesOnScaling(t *testing.T) {
+	report, err := gate(metroResults(), "MetroCapture", "shards=1", "shards=4", 2.5, 2)
+	if err != nil {
+		t.Fatalf("gate failed: %v (report %v)", err, report)
+	}
+	if len(report) == 0 {
+		t.Fatal("gate produced no report lines")
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "3.12x") {
+		t.Fatalf("report missing measured speedup: %s", joined)
+	}
+}
+
+func TestGateFailsBelowFloor(t *testing.T) {
+	rs := metroResults()
+	rs[1].NsOp = 500 // only 2.0x
+	if _, err := gate(rs, "MetroCapture", "shards=1", "shards=4", 2.5, -1); err == nil {
+		t.Fatal("2.0x speedup passed a 2.5x floor")
+	}
+}
+
+func TestGateFailsOnAllocGrowth(t *testing.T) {
+	rs := metroResults()
+	rs[1].AllocsOp = 3
+	if _, err := gate(rs, "MetroCapture", "shards=1", "shards=4", 0, 2); err == nil {
+		t.Fatal("3 allocs/op passed a limit of 2")
+	}
+	// The unrelated benchmark's 99 allocs/op must not trip the gate:
+	// -bench scopes which entries are considered.
+	if _, err := gate(metroResults(), "MetroCapture", "", "", 0, 2); err != nil {
+		t.Fatalf("alloc gate leaked outside -bench scope: %v", err)
+	}
+}
+
+func TestGateMatchErrors(t *testing.T) {
+	if _, err := gate(metroResults(), "NoSuchBench", "", "", 0, -1); err == nil {
+		t.Fatal("empty selection passed")
+	}
+	if _, err := gate(metroResults(), "MetroCapture", "shards=9", "shards=4", 2.5, -1); err == nil {
+		t.Fatal("missing base entry passed")
+	}
+	if _, err := gate(metroResults(), "MetroCapture", "shards=1", "shards=", 2.5, -1); err == nil {
+		t.Fatal("ambiguous target match passed")
+	}
+	if _, err := gate(metroResults(), "MetroCapture", "", "shards=4", 2.5, -1); err == nil {
+		t.Fatal("speedup gate without -base passed")
+	}
+	zero := metroResults()
+	zero[0].NsOp = 0
+	if _, err := gate(zero, "MetroCapture", "shards=1", "shards=4", 2.5, -1); err == nil {
+		t.Fatal("zero ns/op baseline passed")
+	}
+}

@@ -14,6 +14,7 @@
 //	nrscope -replay capture.nrsc -sink jsonl:t.jsonl  # post-process offline
 //	nrscope -history -metrics 127.0.0.1:9090 ...    # /history query API
 //	nrscope -cell amarisoft -fuse-cell mosolab -history ...  # multi-cell fusion
+//	nrscope -shards 4 -cell amarisoft -fuse-cell mosolab ... # sharded supervisor
 //
 // Repeating -fuse-cell monitors additional cells and fuses every cell's
 // stream through the §7 aggregator: per-cell load, cross-cell handover
@@ -31,6 +32,13 @@
 //
 // The legacy -log PATH and -stream ADDR flags remain as shorthands for
 // jsonl: and tcp: sinks.
+//
+// With -shards N the cells (the -cell preset plus every -fuse-cell) are
+// partitioned across N supervised shards (internal/shard): each shard
+// owns its own history partition, bus publisher, and — in multi-cell
+// runs — its own fusion aggregator, and is restarted on stall or panic
+// with its partition intact. The cross-shard rollup is served under
+// /shards on the -metrics mux and summarized at exit.
 package main
 
 import (
@@ -48,6 +56,7 @@ import (
 	"nrscope/internal/fusion"
 	"nrscope/internal/history"
 	"nrscope/internal/obs"
+	"nrscope/internal/shard"
 )
 
 // stringList collects repeated flags (-sink, -fuse-cell).
@@ -76,6 +85,7 @@ func main() {
 		replay   = flag.String("replay", "", "process a recorded capture file instead of live slots")
 		metrics  = flag.String("metrics", "", "serve Prometheus /metrics, /debug/vars, /debug/pprof and the /events SSE feed on this address (e.g. 127.0.0.1:9090)")
 
+		shards      = flag.Int("shards", 0, "partition the monitored cells across N supervised shards (0 = unsharded); composes with -fuse-cell, -history and -sink")
 		hist        = flag.Bool("history", false, "keep a queryable session-history store (served under /history on the -metrics mux)")
 		histBin     = flag.Duration("history-bin", 100*time.Millisecond, "history aggregation bin width")
 		histDepth   = flag.Int("history-depth", 600, "bins of history retained per UE and per cell")
@@ -110,6 +120,24 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Sharded mode replaces the single shared store with per-shard
+	// partitions owned by the supervisor, so it branches off before the
+	// store is built. The -history* flags configure the partitions.
+	if *shards > 0 {
+		if *record != "" || *replay != "" {
+			log.Fatal("nrscope: -shards cannot be combined with -record or -replay")
+		}
+		histCfg := history.Config{
+			BinWidth: *histBin, Depth: *histDepth,
+			MaxUEs:      maxUEsPerShard(*histMaxUEs, *shards),
+			IdleHorizon: *idleHorizon,
+		}
+		runSharded(append([]string{*cellName}, fuseCells...), *shards, *ues, *duration, *seed,
+			buildOpts(*threads, *noVerify, *idleHorizon), b, metricsSrv, histCfg)
+		closeBus()
+		return
+	}
+
 	// The history store is a Block (lossless) bus subscriber, so turning
 	// it on creates a bus even when no -sink flags asked for one.
 	var store *history.Store
@@ -134,13 +162,7 @@ func main() {
 	}
 	defer closeBus()
 
-	opts := []nrscope.Option{nrscope.WithDCIThreads(*threads)}
-	if *noVerify {
-		opts = append(opts, nrscope.WithVerifyMSG4(false))
-	}
-	if *idleHorizon > 0 {
-		opts = append(opts, nrscope.WithIdleHorizon(*idleHorizon))
-	}
+	opts := buildOpts(*threads, *noVerify, *idleHorizon)
 	if len(fuseCells) > 0 {
 		if *record != "" || *replay != "" {
 			log.Fatal("nrscope: -fuse-cell cannot be combined with -record or -replay")
@@ -250,6 +272,140 @@ func main() {
 	closeBus() // drain Block subscribers before reading the store
 	if store != nil {
 		printHistorySummary(store)
+	}
+}
+
+// buildOpts translates the scope-tuning flags into testbed options.
+func buildOpts(threads int, noVerify bool, idleHorizon time.Duration) []nrscope.Option {
+	opts := []nrscope.Option{nrscope.WithDCIThreads(threads)}
+	if noVerify {
+		opts = append(opts, nrscope.WithVerifyMSG4(false))
+	}
+	if idleHorizon > 0 {
+		opts = append(opts, nrscope.WithIdleHorizon(idleHorizon))
+	}
+	return opts
+}
+
+// maxUEsPerShard divides the global -history-max-ues cap across the
+// shard partitions (each partition enforces its own LRU cap).
+func maxUEsPerShard(maxUEs, shards int) int {
+	per := maxUEs / shards
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// runSharded drives one testbed per cell preset through the sharded
+// supervisor: cells are partitioned across the shards, each shard folds
+// its cells' records into its own history partition (and, in multi-cell
+// runs, its own fusion aggregator) and publishes to the bus. The
+// cross-shard rollup is served under /shards on the -metrics mux and
+// printed at exit.
+func runSharded(cellNames []string, shards, ues int, duration time.Duration, seed int64,
+	opts []nrscope.Option, b *bus.Bus, metricsSrv *obs.Server, histCfg history.Config) {
+	if shards > len(cellNames) {
+		fmt.Fprintf(os.Stderr, "nrscope: %d shards for %d cells; %d shards will idle\n",
+			shards, len(cellNames), shards-len(cellNames))
+	}
+	sup := shard.New(shard.Config{
+		Shards:  shards,
+		History: histCfg,
+		Fusion:  len(cellNames) > 1,
+		Bus:     b,
+	})
+	type cellRun struct {
+		tb *nrscope.Testbed
+		id uint16
+	}
+	cells := make([]cellRun, 0, len(cellNames))
+	for i, name := range cellNames {
+		preset, err := presetByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb, err := nrscope.NewTestbed(preset, seed+int64(i), opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := tb.GNB.Config()
+		idx, err := sup.AddCell(cfg.CellID, cfg.Mu)
+		if err != nil {
+			log.Fatalf("nrscope: sharding %q: %v", name, err)
+		}
+		for u := 0; u < ues; u++ {
+			tb.AttachUE(nrscope.UEProfile{})
+		}
+		cells = append(cells, cellRun{tb, cfg.CellID})
+		fmt.Fprintf(os.Stderr, "nrscope: cell %d (%s, %v) on shard %d\n", cfg.CellID, name, cfg.Mu, idx)
+	}
+	if err := sup.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if metricsSrv != nil {
+		sup.Mount(metricsSrv)
+		fmt.Fprintf(os.Stderr, "nrscope: shard rollup API on http://%s/shards\n", metricsSrv.Addr())
+	}
+
+	var records int
+	step := 50 * time.Millisecond
+	for t := time.Duration(0); t < duration; t += step {
+		for _, c := range cells {
+			id := c.id
+			c.tb.RunFor(step, func(res *nrscope.SlotResult) {
+				for _, rec := range res.Records {
+					if err := sup.Ingest(id, rec); err != nil {
+						log.Fatal(err)
+					}
+				}
+				if res.Spare != nil {
+					_ = sup.IngestSpare(id, res.SlotIdx, res.Spare)
+				}
+				records += len(res.Records)
+			})
+		}
+	}
+	sup.Flush()
+
+	h := sup.Health()
+	fmt.Fprintf(os.Stderr, "nrscope: sharded %d records across %d cells on %d shards (%d UEs tracked)\n",
+		records, h.Cells, h.Shards, h.TrackedUEs)
+	for _, ps := range h.PerShard {
+		state := "up"
+		if ps.Dead {
+			state = "dead"
+		} else if !ps.Up {
+			state = "down"
+		}
+		fmt.Fprintf(os.Stderr, "nrscope: shard %d (%s): %d cells, %d applied, %d dropped, %d restarts, %d UEs\n",
+			ps.Shard, state, ps.Cells, ps.Applied, ps.Dropped, ps.Restarts, ps.TrackedUEs)
+	}
+	window := time.Duration(histCfg.BinWidth.Milliseconds()*int64(histCfg.Depth)) * time.Millisecond
+	if window <= 0 {
+		window = time.Minute
+	}
+	if ranks, err := sup.TopK("bits", window, 5); err == nil && len(ranks) > 0 {
+		fmt.Fprintf(os.Stderr, "nrscope: fused top UEs by bits:\n")
+		for _, r := range ranks {
+			fmt.Fprintf(os.Stderr, "  cell %d ue 0x%04x: %.0f bits\n", r.Cell, r.RNTI, r.Value)
+		}
+	}
+	if len(cellNames) > 1 {
+		hos := sup.Handovers()
+		for _, ho := range hos {
+			fmt.Fprintf(os.Stderr, "nrscope: %s\n", ho)
+		}
+		if len(hos) == 0 {
+			fmt.Fprintln(os.Stderr, "nrscope: no handover candidates detected")
+		}
+	}
+	if anoms := sup.Anomalies(); len(anoms) > 0 {
+		fmt.Fprintf(os.Stderr, "nrscope: shards flagged %d anomalies (last: %s)\n",
+			len(anoms), anoms[len(anoms)-1].String())
+	}
+	if err := sup.Close(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -1,0 +1,315 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nrscope/internal/obs"
+	"nrscope/internal/phy"
+	"nrscope/internal/telemetry"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFailoverPanicRestartResumesPartition is the ISSUE's failover
+// scenario: kill one shard's worker mid-ingest (injected panic), assert
+// the in-flight records become counted drops in the shard's
+// nrscope_shard_* accounting, the supervisor restarts the worker, and
+// the restarted worker resumes folding into the SAME history partition —
+// pre-crash series survive.
+func TestFailoverPanicRestartResumesPartition(t *testing.T) {
+	before := obs.Snapshot()
+	var bomb atomic.Bool
+	sup := newTestSupervisor(t, Config{
+		Shards:    2,
+		QueueSize: 64,
+		Policy:    DropOldest,
+		MaxBatch:  1, // one record per batch: the panic drops exactly the poison record
+		ApplyHook: func(shard int, cell uint16, rec *telemetry.Record) {
+			if bomb.Load() && rec.RNTI == 0xDEAD {
+				panic("injected shard fault")
+			}
+		},
+	}, 4)
+
+	victim, _ := sup.Partition(1)
+	// Phase 1: healthy ingest builds partition state that must survive.
+	for i := 0; i < 20; i++ {
+		if err := sup.Ingest(1, trec(i, 0x4601, 4096, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup.Flush()
+	if got := sup.Store(victim).TrackedUEs(); got != 1 {
+		t.Fatalf("pre-crash partition tracks %d UEs, want 1", got)
+	}
+	preCrash := sup.Health().PerShard[victim]
+
+	// Phase 2: the kill. A poison record panics the victim's worker.
+	bomb.Store(true)
+	if err := sup.Ingest(1, trec(20, 0xDEAD, 128, 20)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		return sup.Health().PerShard[victim].Restarts >= 1
+	}, "supervisor to restart the crashed shard")
+	bomb.Store(false)
+
+	// Phase 3: the restarted worker resumes on the intact partition.
+	for i := 21; i < 41; i++ {
+		if err := sup.Ingest(1, trec(i, 0x4601, 4096, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := sup.Ingest(1, trec(i, 0x4777, 2048, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup.Flush()
+
+	h := sup.Health().PerShard[victim]
+	if !h.Up || h.Dead {
+		t.Fatalf("victim shard not back up: %+v", h)
+	}
+	if h.Dropped < 1 {
+		t.Fatalf("poison record not counted dropped: %+v", h)
+	}
+	if got := h.Applied + h.Dropped; got != h.Ingested {
+		t.Fatalf("accounting open after failover: applied %d + dropped %d != ingested %d",
+			h.Applied, h.Dropped, h.Ingested)
+	}
+	// The partition retained the pre-crash series AND grew post-crash.
+	if got := sup.Store(victim).TrackedUEs(); got != 2 {
+		t.Fatalf("post-restart partition tracks %d UEs, want 2 (0x4601 survived + 0x4777 new)", got)
+	}
+	samples := sup.Store(victim).Query(1, 0x4601, 0, 0, 1)
+	var grants int64
+	for _, s := range samples {
+		grants += s.Grants
+	}
+	if grants != 40 {
+		t.Fatalf("0x4601 shows %d grants across crash, want 40 (20 pre + 20 post)", grants)
+	}
+	if h.Applied <= preCrash.Applied {
+		t.Fatalf("restarted worker applied nothing: %d -> %d", preCrash.Applied, h.Applied)
+	}
+
+	// The nrscope_shard_* instruments observed the failover too.
+	delta := obs.Delta(before, obs.Snapshot())
+	prefix := fmt.Sprintf("nrscope_shard_%d_", victim)
+	if delta[prefix+"restarts_total"] < 1 {
+		t.Fatalf("%srestarts_total delta = %v, want >= 1", prefix, delta[prefix+"restarts_total"])
+	}
+	if delta[prefix+"dropped_total"] < 1 {
+		t.Fatalf("%sdropped_total delta = %v, want >= 1", prefix, delta[prefix+"dropped_total"])
+	}
+}
+
+// TestFailoverQueuesDuringOutage: while a shard's worker is down, its
+// cells' records keep landing in the bounded queue (DropOldest once
+// full — counted, never blocking, even under Block policy), and the
+// healthy shard is unaffected.
+func TestFailoverQueuesDuringOutage(t *testing.T) {
+	var bomb atomic.Bool
+	sup := New(Config{
+		Shards:    2,
+		QueueSize: 8,
+		Policy:    Block,
+		MaxBatch:  1,
+		// Long check interval: the worker stays down for the whole
+		// middle of the test, so the queue-while-down path is observable.
+		CheckInterval: 500 * time.Millisecond,
+		StallTimeout:  -1,
+		ApplyHook: func(shard int, cell uint16, rec *telemetry.Record) {
+			if bomb.Load() && rec.RNTI == 0xDEAD {
+				panic("injected shard fault")
+			}
+		},
+	})
+	for c := 1; c <= 2; c++ {
+		if _, err := sup.AddCell(uint16(c), phy.Mu1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	victim, _ := sup.Partition(1)
+	peer, _ := sup.Partition(2)
+	if victim == peer {
+		t.Fatal("cells 1 and 2 share a shard; want distinct partitions")
+	}
+
+	bomb.Store(true)
+	if err := sup.Ingest(1, trec(0, 0xDEAD, 128, 0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		return !sup.Health().PerShard[victim].Up
+	}, "victim worker to go down")
+
+	// Worker down: pushes must not block despite Block policy, the
+	// 8-deep queue holds the freshest 8, the overflow is counted drops.
+	start := time.Now()
+	for i := 1; i <= 24; i++ {
+		if err := sup.Ingest(1, trec(i, 0x4601, 1024, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("pushes into a down shard took %v; Block must degrade to DropOldest", took)
+	}
+	h := sup.Health().PerShard[victim]
+	if h.QueueDepth != 8 {
+		t.Fatalf("down shard queue depth %d, want full at 8", h.QueueDepth)
+	}
+	if h.Dropped < 16 {
+		t.Fatalf("down shard dropped %d, want >= 16 of 24 overflow pushes", h.Dropped)
+	}
+
+	// The healthy peer shard ingests normally throughout the outage.
+	for i := 0; i < 10; i++ {
+		if err := sup.Ingest(2, trec(i, 0x4602, 1024, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		ps := sup.Health().PerShard[peer]
+		return ps.Applied == ps.Ingested
+	}, "peer shard to drain during the outage")
+
+	// Restart: the queued records (the retained freshest 8) drain into
+	// the intact partition.
+	bomb.Store(false)
+	waitFor(t, 2*time.Second, func() bool {
+		return sup.Health().PerShard[victim].Up
+	}, "supervisor to restart the victim")
+	sup.Flush()
+	h = sup.Health().PerShard[victim]
+	if got := h.Applied + h.Dropped; got != h.Ingested {
+		t.Fatalf("accounting open after outage: applied %d + dropped %d != ingested %d",
+			h.Applied, h.Dropped, h.Ingested)
+	}
+	samples := sup.Store(victim).Query(1, 0x4601, 0, 0, 1)
+	var grants int64
+	for _, s := range samples {
+		grants += s.Grants
+	}
+	if grants != 8 {
+		t.Fatalf("queued-through-outage records applied %d grants, want the retained 8", grants)
+	}
+}
+
+// TestStallDetectionSupersedesWorker: a worker wedged inside a fold
+// (blocking hook) with work queued is declared stalled and superseded by
+// a fresh generation; the stall is counted.
+func TestStallDetectionSupersedesWorker(t *testing.T) {
+	gate := make(chan struct{})
+	var wedge atomic.Bool
+	sup := newTestSupervisor(t, Config{
+		Shards:        1,
+		QueueSize:     64,
+		MaxBatch:      1,
+		StallTimeout:  30 * time.Millisecond,
+		CheckInterval: 5 * time.Millisecond,
+		ApplyHook: func(shard int, cell uint16, rec *telemetry.Record) {
+			if wedge.CompareAndSwap(true, false) {
+				<-gate // wedge exactly one fold
+			}
+		},
+	}, 1)
+	defer close(gate)
+
+	wedge.Store(true)
+	for i := 0; i < 10; i++ {
+		if err := sup.Ingest(1, trec(i, 0x4601, 1024, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		return sup.Health().PerShard[0].Stalls >= 1
+	}, "stall detection to fire")
+	waitFor(t, 2*time.Second, func() bool {
+		ps := sup.Health().PerShard[0]
+		return ps.Up && ps.Applied+ps.Dropped >= 9
+	}, "takeover worker to drain the queue")
+	// The wedged predecessor still holds one record; the takeover owns
+	// the rest. Release the predecessor: it must exit (superseded) and
+	// its one in-flight record is accounted (applied or dropped).
+}
+
+// TestDeadShardAfterRestartBudget: a shard that keeps crashing exhausts
+// MaxRestarts, is declared dead, and its records become counted drops
+// while the rest of the deployment stays live.
+func TestDeadShardAfterRestartBudget(t *testing.T) {
+	sup := newTestSupervisor(t, Config{
+		Shards:      2,
+		QueueSize:   4,
+		MaxBatch:    1,
+		MaxRestarts: 2,
+		ApplyHook: func(shard int, cell uint16, rec *telemetry.Record) {
+			if rec.RNTI == 0xDEAD {
+				panic("injected persistent fault")
+			}
+		},
+	}, 2)
+
+	victim, _ := sup.Partition(1)
+	peer, _ := sup.Partition(2)
+
+	// Every worker generation dies on the next poison record.
+	for i := 0; i < 8; i++ {
+		if err := sup.Ingest(1, trec(i, 0xDEAD, 128, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	waitFor(t, 4*time.Second, func() bool {
+		return sup.Health().PerShard[victim].Dead
+	}, "victim to exhaust its restart budget")
+	h := sup.Health().PerShard[victim]
+	if h.Restarts != 2 {
+		t.Fatalf("victim restarted %d times, want exactly MaxRestarts=2", h.Restarts)
+	}
+
+	// Pushes to the dead shard never block and become drops once the
+	// 4-deep queue is full.
+	preDrops := sup.Health().PerShard[victim].Dropped
+	for i := 0; i < 12; i++ {
+		if err := sup.Ingest(1, trec(100+i, 0x4601, 1024, float64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := sup.Health().PerShard[victim]; h.Dropped <= preDrops {
+		t.Fatalf("dead shard counted no drops: %d -> %d", preDrops, h.Dropped)
+	}
+
+	// The peer shard still works; Flush skips the dead shard.
+	for i := 0; i < 10; i++ {
+		if err := sup.Ingest(2, trec(i, 0x4602, 1024, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup.Flush()
+	// The tiny 4-deep DropOldest queue may legitimately evict under the
+	// burst; what matters is the peer stayed live, applied work, and its
+	// accounting closed.
+	if ps := sup.Health().PerShard[peer]; ps.Dead || !ps.Up || ps.Applied == 0 ||
+		ps.Applied+ps.Dropped != ps.Ingested {
+		t.Fatalf("peer shard degraded alongside the dead one: %+v", ps)
+	}
+}
