@@ -42,6 +42,7 @@ func main() {
 		target     = flag.String("target", "", "target entry: the unique considered entry whose name contains this substring")
 		minSpeedup = flag.Float64("min-speedup", 0, "fail unless target is at least this many times faster than base (0 = skip)")
 		maxAllocs  = flag.Int64("max-allocs", -1, "fail if any considered entry reports more allocs/op than this (-1 = skip)")
+		maxRatio   = flag.Float64("max-alloc-ratio", 0, "fail unless target allocs/op <= this ratio times base allocs/op; a 0-alloc base requires a 0-alloc target (0 = skip)")
 	)
 	flag.Parse()
 	if *jsonPath == "" {
@@ -58,7 +59,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *jsonPath, err)
 		os.Exit(2)
 	}
-	report, err := gate(results, *bench, *base, *target, *minSpeedup, *maxAllocs)
+	report, err := gate(results, *bench, *base, *target, *minSpeedup, *maxAllocs, *maxRatio)
 	for _, line := range report {
 		fmt.Println("benchgate:", line)
 	}
@@ -71,7 +72,7 @@ func main() {
 
 // gate checks the invariants and returns a human-readable report plus
 // the first violation (nil if all hold).
-func gate(results []result, bench, base, target string, minSpeedup float64, maxAllocs int64) ([]string, error) {
+func gate(results []result, bench, base, target string, minSpeedup float64, maxAllocs int64, maxAllocRatio float64) ([]string, error) {
 	considered := results
 	if bench != "" {
 		considered = nil
@@ -115,13 +116,38 @@ func gate(results []result, bench, base, target string, minSpeedup float64, maxA
 				t.Name, speedup, b.Name, minSpeedup)
 		}
 	}
+
+	if maxAllocRatio > 0 {
+		b, err := unique(considered, base, "base")
+		if err != nil {
+			return report, err
+		}
+		t, err := unique(considered, target, "target")
+		if err != nil {
+			return report, err
+		}
+		limit := float64(b.AllocsOp) * maxAllocRatio
+		report = append(report, fmt.Sprintf("%s vs %s: %d vs %d allocs/op (ratio cap %.2fx)",
+			t.Name, b.Name, t.AllocsOp, b.AllocsOp, maxAllocRatio))
+		if b.AllocsOp == 0 {
+			// A 0-alloc baseline is a hard invariant: any ratio of zero is
+			// zero, so the target must stay alloc-free too.
+			if t.AllocsOp != 0 {
+				return report, fmt.Errorf("target %s allocates (%d allocs/op) but baseline %s is alloc-free",
+					t.Name, t.AllocsOp, b.Name)
+			}
+		} else if float64(t.AllocsOp) > limit {
+			return report, fmt.Errorf("target %s reports %d allocs/op, cap is %.1f (%.2fx of %s's %d)",
+				t.Name, t.AllocsOp, limit, maxAllocRatio, b.Name, b.AllocsOp)
+		}
+	}
 	return report, nil
 }
 
 // unique finds the single entry whose name contains the substring.
 func unique(results []result, sub, role string) (result, error) {
 	if sub == "" {
-		return result{}, fmt.Errorf("-min-speedup needs -%s", role)
+		return result{}, fmt.Errorf("this gate needs -%s", role)
 	}
 	var found []result
 	for _, r := range results {

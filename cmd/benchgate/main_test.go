@@ -14,7 +14,7 @@ func metroResults() []result {
 }
 
 func TestGatePassesOnScaling(t *testing.T) {
-	report, err := gate(metroResults(), "MetroCapture", "shards=1", "shards=4", 2.5, 2)
+	report, err := gate(metroResults(), "MetroCapture", "shards=1", "shards=4", 2.5, 2, 0)
 	if err != nil {
 		t.Fatalf("gate failed: %v (report %v)", err, report)
 	}
@@ -30,7 +30,7 @@ func TestGatePassesOnScaling(t *testing.T) {
 func TestGateFailsBelowFloor(t *testing.T) {
 	rs := metroResults()
 	rs[1].NsOp = 500 // only 2.0x
-	if _, err := gate(rs, "MetroCapture", "shards=1", "shards=4", 2.5, -1); err == nil {
+	if _, err := gate(rs, "MetroCapture", "shards=1", "shards=4", 2.5, -1, 0); err == nil {
 		t.Fatal("2.0x speedup passed a 2.5x floor")
 	}
 }
@@ -38,32 +38,60 @@ func TestGateFailsBelowFloor(t *testing.T) {
 func TestGateFailsOnAllocGrowth(t *testing.T) {
 	rs := metroResults()
 	rs[1].AllocsOp = 3
-	if _, err := gate(rs, "MetroCapture", "shards=1", "shards=4", 0, 2); err == nil {
+	if _, err := gate(rs, "MetroCapture", "shards=1", "shards=4", 0, 2, 0); err == nil {
 		t.Fatal("3 allocs/op passed a limit of 2")
 	}
 	// The unrelated benchmark's 99 allocs/op must not trip the gate:
 	// -bench scopes which entries are considered.
-	if _, err := gate(metroResults(), "MetroCapture", "", "", 0, 2); err != nil {
+	if _, err := gate(metroResults(), "MetroCapture", "", "", 0, 2, 0); err != nil {
 		t.Fatalf("alloc gate leaked outside -bench scope: %v", err)
 	}
 }
 
+func TestGateAllocRatio(t *testing.T) {
+	lake := func(baseAllocs, targetAllocs int64) []result {
+		return []result{
+			{Name: "BenchmarkLakeSpill/lake=off", Iters: 1000, NsOp: 100, AllocsOp: baseAllocs},
+			{Name: "BenchmarkLakeSpill/lake=on", Iters: 1000, NsOp: 110, AllocsOp: targetAllocs},
+		}
+	}
+	// Within the cap: 11 <= 1.15 * 10.
+	if _, err := gate(lake(10, 11), "LakeSpill", "lake=off", "lake=on", 0, -1, 1.15); err != nil {
+		t.Fatalf("11 vs 10 allocs failed a 1.15x cap: %v", err)
+	}
+	// Over the cap: 12 > 1.15 * 10.
+	if _, err := gate(lake(10, 12), "LakeSpill", "lake=off", "lake=on", 0, -1, 1.15); err == nil {
+		t.Fatal("12 vs 10 allocs passed a 1.15x cap")
+	}
+	// A 0-alloc baseline demands a 0-alloc target regardless of ratio.
+	if _, err := gate(lake(0, 1), "LakeSpill", "lake=off", "lake=on", 0, -1, 100); err == nil {
+		t.Fatal("allocating target passed against a 0-alloc baseline")
+	}
+	if _, err := gate(lake(0, 0), "LakeSpill", "lake=off", "lake=on", 0, -1, 1.15); err != nil {
+		t.Fatalf("0 vs 0 allocs failed: %v", err)
+	}
+	// The ratio gate needs base and target entries.
+	if _, err := gate(lake(0, 0), "LakeSpill", "", "lake=on", 0, -1, 1.15); err == nil {
+		t.Fatal("ratio gate without -base passed")
+	}
+}
+
 func TestGateMatchErrors(t *testing.T) {
-	if _, err := gate(metroResults(), "NoSuchBench", "", "", 0, -1); err == nil {
+	if _, err := gate(metroResults(), "NoSuchBench", "", "", 0, -1, 0); err == nil {
 		t.Fatal("empty selection passed")
 	}
-	if _, err := gate(metroResults(), "MetroCapture", "shards=9", "shards=4", 2.5, -1); err == nil {
+	if _, err := gate(metroResults(), "MetroCapture", "shards=9", "shards=4", 2.5, -1, 0); err == nil {
 		t.Fatal("missing base entry passed")
 	}
-	if _, err := gate(metroResults(), "MetroCapture", "shards=1", "shards=", 2.5, -1); err == nil {
+	if _, err := gate(metroResults(), "MetroCapture", "shards=1", "shards=", 2.5, -1, 0); err == nil {
 		t.Fatal("ambiguous target match passed")
 	}
-	if _, err := gate(metroResults(), "MetroCapture", "", "shards=4", 2.5, -1); err == nil {
+	if _, err := gate(metroResults(), "MetroCapture", "", "shards=4", 2.5, -1, 0); err == nil {
 		t.Fatal("speedup gate without -base passed")
 	}
 	zero := metroResults()
 	zero[0].NsOp = 0
-	if _, err := gate(zero, "MetroCapture", "shards=1", "shards=4", 2.5, -1); err == nil {
+	if _, err := gate(zero, "MetroCapture", "shards=1", "shards=4", 2.5, -1, 0); err == nil {
 		t.Fatal("zero ns/op baseline passed")
 	}
 }

@@ -13,6 +13,7 @@
 //	nrscope -record capture.nrsc -duration 10s      # save the air capture
 //	nrscope -replay capture.nrsc -sink jsonl:t.jsonl  # post-process offline
 //	nrscope -history -metrics 127.0.0.1:9090 ...    # /history query API
+//	nrscope -lake ./lake -lake-retention 1h ...     # spill history to disk
 //	nrscope -cell amarisoft -fuse-cell mosolab -history ...  # multi-cell fusion
 //	nrscope -shards 4 -cell amarisoft -fuse-cell mosolab ... # sharded supervisor
 //
@@ -47,6 +48,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -55,6 +57,7 @@ import (
 	"nrscope/internal/capfile"
 	"nrscope/internal/fusion"
 	"nrscope/internal/history"
+	"nrscope/internal/lake"
 	"nrscope/internal/obs"
 	"nrscope/internal/shard"
 )
@@ -91,6 +94,10 @@ func main() {
 		histDepth   = flag.Int("history-depth", 600, "bins of history retained per UE and per cell")
 		histMaxUEs  = flag.Int("history-max-ues", 10000, "UE series cap in the history store (LRU eviction beyond it)")
 		idleHorizon = flag.Duration("idle-horizon", 0, "evict UEs idle longer than this from the scope and the history store (0 = slot-count default)")
+
+		lakeDir       = flag.String("lake", "", "spill history bins evicted from RAM into columnar segments under this directory (implies -history; queries answer across RAM + disk)")
+		lakeSegMB     = flag.Int64("lake-segment-mb", 8, "seal lake segments at this many MiB")
+		lakeRetention = flag.Duration("lake-retention", 0, "drop lake segments wholly older than this horizon (0 = keep everything)")
 	)
 	flag.Var(&sinks, "sink", "telemetry sink (repeatable): jsonl:PATH | tcp:ADDR | sse")
 	flag.Var(&fuseCells, "fuse-cell", "additional cell preset to monitor and fuse with -cell (repeatable; enables the multi-cell aggregator)")
@@ -123,6 +130,11 @@ func main() {
 	// Sharded mode replaces the single shared store with per-shard
 	// partitions owned by the supervisor, so it branches off before the
 	// store is built. The -history* flags configure the partitions.
+	lakeCfg := lake.Config{
+		SegmentBytes: *lakeSegMB << 20,
+		Retention:    *lakeRetention,
+		BinWidth:     *histBin,
+	}
 	if *shards > 0 {
 		if *record != "" || *replay != "" {
 			log.Fatal("nrscope: -shards cannot be combined with -record or -replay")
@@ -133,15 +145,17 @@ func main() {
 			IdleHorizon: *idleHorizon,
 		}
 		runSharded(append([]string{*cellName}, fuseCells...), *shards, *ues, *duration, *seed,
-			buildOpts(*threads, *noVerify, *idleHorizon), b, metricsSrv, histCfg)
+			buildOpts(*threads, *noVerify, *idleHorizon), b, metricsSrv, histCfg, *lakeDir, lakeCfg)
 		closeBus()
 		return
 	}
 
 	// The history store is a Block (lossless) bus subscriber, so turning
-	// it on creates a bus even when no -sink flags asked for one.
+	// it on creates a bus even when no -sink flags asked for one. -lake
+	// spills the store's evicted bins to disk, so it implies the store.
 	var store *history.Store
-	if *hist {
+	var lk *lake.Lake
+	if *hist || *lakeDir != "" {
 		if b == nil {
 			nb := bus.New()
 			b = nb
@@ -155,6 +169,15 @@ func main() {
 			BinWidth: *histBin, Depth: *histDepth, MaxUEs: *histMaxUEs,
 			IdleHorizon: *idleHorizon,
 		})
+		if *lakeDir != "" {
+			var lerr error
+			lk, lerr = lake.Open(*lakeDir, lakeCfg)
+			if lerr != nil {
+				log.Fatal(lerr)
+			}
+			store.AttachLake(lk)
+			fmt.Fprintf(os.Stderr, "nrscope: telemetry lake at %s\n", *lakeDir)
+		}
 		if metricsSrv != nil {
 			store.Mount(metricsSrv)
 			fmt.Fprintf(os.Stderr, "nrscope: history API on http://%s/history/ues\n", metricsSrv.Addr())
@@ -175,6 +198,7 @@ func main() {
 		if store != nil {
 			printHistorySummary(store)
 		}
+		closeLake(lk)
 		return
 	}
 	if b != nil {
@@ -186,6 +210,7 @@ func main() {
 		if store != nil {
 			printHistorySummary(store)
 		}
+		closeLake(lk)
 		return
 	}
 
@@ -273,6 +298,25 @@ func main() {
 	if store != nil {
 		printHistorySummary(store)
 	}
+	closeLake(lk)
+}
+
+// closeLake drains the lake's spill queue to disk, reports its totals,
+// and releases it.
+func closeLake(lk *lake.Lake) {
+	if lk == nil {
+		return
+	}
+	_ = lk.Sync()
+	st := lk.Stats()
+	if err := lk.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "nrscope: lake close: %v\n", err)
+	}
+	fmt.Fprintf(os.Stderr, "nrscope: lake: %d segments, %d KiB, %d bins + %d anomalies spilled, %d compactions\n",
+		st.Segments, st.Bytes>>10, st.SpilledBins, st.SpilledAnomalies, st.Compactions)
+	if st.DroppedEntries > 0 {
+		fmt.Fprintf(os.Stderr, "nrscope: lake dropped %d spill entries (queue overflow)\n", st.DroppedEntries)
+	}
 }
 
 // buildOpts translates the scope-tuning flags into testbed options.
@@ -304,7 +348,8 @@ func maxUEsPerShard(maxUEs, shards int) int {
 // cross-shard rollup is served under /shards on the -metrics mux and
 // printed at exit.
 func runSharded(cellNames []string, shards, ues int, duration time.Duration, seed int64,
-	opts []nrscope.Option, b *bus.Bus, metricsSrv *obs.Server, histCfg history.Config) {
+	opts []nrscope.Option, b *bus.Bus, metricsSrv *obs.Server, histCfg history.Config,
+	lakeDir string, lakeCfg lake.Config) {
 	if shards > len(cellNames) {
 		fmt.Fprintf(os.Stderr, "nrscope: %d shards for %d cells; %d shards will idle\n",
 			shards, len(cellNames), shards-len(cellNames))
@@ -315,6 +360,22 @@ func runSharded(cellNames []string, shards, ues int, duration time.Duration, see
 		Fusion:  len(cellNames) > 1,
 		Bus:     b,
 	})
+	// One lake partition per shard: a shard's evicted bins spill under
+	// its own subdirectory, and the rollup layer's fan-in sees RAM +
+	// disk through each partition's queries.
+	var lakes []*lake.Lake
+	if lakeDir != "" {
+		if err := sup.AttachLakes(func(i int) (history.Lake, error) {
+			l, err := lake.Open(filepath.Join(lakeDir, fmt.Sprintf("shard-%d", i)), lakeCfg)
+			if err == nil {
+				lakes = append(lakes, l)
+			}
+			return l, err
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "nrscope: telemetry lake at %s (%d shard partitions)\n", lakeDir, shards)
+	}
 	type cellRun struct {
 		tb *nrscope.Testbed
 		id uint16
@@ -406,6 +467,9 @@ func runSharded(cellNames []string, shards, ues int, duration time.Duration, see
 	}
 	if err := sup.Close(); err != nil {
 		log.Fatal(err)
+	}
+	for _, lk := range lakes {
+		closeLake(lk)
 	}
 }
 

@@ -100,7 +100,7 @@ func (st *Store) binClosed(u *ueSeries, b Bin, binIdx int64) {
 
 	if a.init {
 		if b.Grants >= cfg.MinGrants && rate >= cfg.RetxRateMin && rate >= cfg.RetxSpikeFactor*a.ewmaRetx {
-			st.anoms.add(Anomaly{
+			st.addAnomalyLocked(Anomaly{
 				Cell: u.key.cell, RNTI: u.key.rnti, Kind: KindRetxSpike,
 				AtMs: float64(binIdx) * st.binMS, Value: rate, Baseline: a.ewmaRetx,
 			})
@@ -109,7 +109,7 @@ func (st *Store) binClosed(u *ueSeries, b Bin, binIdx int64) {
 		if a.ewmaTput >= cfg.TputFloorBits && bits <= cfg.CollapseFraction*a.ewmaTput {
 			if !a.collapsed {
 				a.collapsed = true
-				st.anoms.add(Anomaly{
+				st.addAnomalyLocked(Anomaly{
 					Cell: u.key.cell, RNTI: u.key.rnti, Kind: KindTputCollapse,
 					AtMs: float64(binIdx) * st.binMS, Value: bits, Baseline: a.ewmaTput,
 				})
@@ -143,14 +143,18 @@ func newAnomalyRing(depth int) anomalyRing {
 	return anomalyRing{buf: make([]Anomaly, depth)}
 }
 
-func (r *anomalyRing) add(a Anomaly) {
+// add appends one anomaly, returning the event it pushed out of a full
+// ring (ok=true) so the caller can spill it to the lake.
+func (r *anomalyRing) add(a Anomaly) (evicted Anomaly, ok bool) {
 	if r.n < len(r.buf) {
 		r.buf[(r.head+r.n)%len(r.buf)] = a
 		r.n++
-		return
+		return Anomaly{}, false
 	}
+	evicted = r.buf[r.head]
 	r.buf[r.head] = a
 	r.head = (r.head + 1) % len(r.buf)
+	return evicted, true
 }
 
 // snapshot returns the retained anomalies, oldest first.
@@ -162,9 +166,27 @@ func (r *anomalyRing) snapshot() []Anomaly {
 	return out
 }
 
-// Anomalies returns the retained anomaly events, oldest first.
+// addAnomalyLocked appends an anomaly to the bounded ring, handing any
+// overwritten event to the lake. Caller holds st.mu.
+func (st *Store) addAnomalyLocked(a Anomaly) {
+	if old, evicted := st.anoms.add(a); evicted && st.lake != nil {
+		st.lake.SpillAnomaly(old)
+	}
+}
+
+// Anomalies returns the retained anomaly events, oldest first. With a
+// lake attached, events that the bounded ring already pushed out are
+// merged back in from disk ahead of the retained ones.
 func (st *Store) Anomalies() []Anomaly {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return st.anoms.snapshot()
+	ram := st.anoms.snapshot()
+	if st.lake == nil {
+		return ram
+	}
+	spilled := st.lake.Anomalies()
+	if len(spilled) == 0 {
+		return ram
+	}
+	return append(spilled, ram...)
 }

@@ -45,8 +45,8 @@ func (b *Bin) addRecord(rec telemetry.Record) {
 	b.MCSCount++
 }
 
-// merge folds another bin's sums into b (downsampling).
-func (b *Bin) merge(o Bin) {
+// Merge folds another bin's sums into b (downsampling).
+func (b *Bin) Merge(o Bin) {
 	b.DLBits += o.DLBits
 	b.ULBits += o.ULBits
 	b.Grants += o.Grants
@@ -82,10 +82,11 @@ func newSeries(depth int) series {
 
 // advance positions the ring at bin index idx and returns the bin to
 // write into. Moving forward closes intervening bins (invoking onClose
-// for each, newest-gap walk capped at the ring depth); a late index
-// still inside the ring returns its retained bin; one older than the
-// ring returns nil.
-func (s *series) advance(idx int64, onClose func(b Bin, binIdx int64)) *Bin {
+// for each, newest-gap walk capped at the ring depth) and hands every
+// bin pushed off the back of a full ring to onEvict — the lake spill
+// point; a late index still inside the ring returns its retained bin;
+// one older than the ring returns nil.
+func (s *series) advance(idx int64, onClose func(b Bin, binIdx int64), onEvict func(binIdx int64, b *Bin)) *Bin {
 	depth := len(s.bins)
 	if s.n == 0 {
 		s.head, s.n, s.curIdx = 0, 1, idx
@@ -112,9 +113,17 @@ func (s *series) advance(idx int64, onClose func(b Bin, binIdx int64)) *Bin {
 	}
 	if gap := idx - s.curIdx; gap >= int64(depth) {
 		// The whole retained window is silence: close the current bin,
-		// zero the ring, and jump — never walk an unbounded gap.
+		// evict everything retained, zero the ring, and jump — never
+		// walk an unbounded gap.
 		if onClose != nil {
 			onClose(s.bins[s.head], s.curIdx)
+		}
+		if onEvict != nil {
+			for i := s.oldestIdx(); i <= s.curIdx; i++ {
+				if p := s.atPtr(i); *p != (Bin{}) {
+					onEvict(i, p)
+				}
+			}
 		}
 		for i := range s.bins {
 			s.bins[i] = Bin{}
@@ -132,6 +141,17 @@ func (s *series) advance(idx int64, onClose func(b Bin, binIdx int64)) *Bin {
 		if s.head == depth {
 			s.head = 0
 		}
+		if s.n == depth {
+			// The slot about to be recycled holds the oldest retained
+			// bin: it falls off the ring here, and nowhere else. The
+			// pointer stays valid only until the zeroing below —
+			// onEvict (the lake spill point) copies before returning.
+			if onEvict != nil {
+				if p := &s.bins[s.head]; *p != (Bin{}) {
+					onEvict(s.curIdx+1-int64(depth), p)
+				}
+			}
+		}
 		s.bins[s.head] = Bin{}
 		if s.n < depth {
 			s.n++
@@ -147,10 +167,16 @@ func (s *series) oldestIdx() int64 { return s.curIdx - int64(s.n) + 1 }
 // at returns the retained bin for binIdx (valid only for indices in
 // [oldestIdx, curIdx]).
 func (s *series) at(binIdx int64) Bin {
+	return *s.atPtr(binIdx)
+}
+
+// atPtr returns a pointer into the ring for binIdx — valid under the
+// same index bounds as at, and only until the ring advances.
+func (s *series) atPtr(binIdx int64) *Bin {
 	back := s.curIdx - binIdx
 	pos := s.head - int(back)
 	if pos < 0 {
 		pos += len(s.bins)
 	}
-	return s.bins[pos]
+	return &s.bins[pos]
 }

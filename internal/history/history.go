@@ -80,9 +80,11 @@ type ueSeries struct {
 	lastTMs float64
 	elem    *list.Element // position in the store's LRU list
 
-	// close is allocated once at series creation so the ingest hot
-	// path passes a preexisting func value (no per-record closure).
+	// close and evict are allocated once at series creation so the
+	// ingest hot path passes preexisting func values (no per-record
+	// closure).
 	close func(b Bin, binIdx int64)
+	evict func(binIdx int64, b *Bin)
 
 	anom anomalyState
 }
@@ -93,6 +95,7 @@ type cellHistory struct {
 	id     uint16
 	ttiMS  float64
 	series series
+	evict  func(binIdx int64, b *Bin)
 }
 
 // Store is the session-history store. All methods are safe for
@@ -107,6 +110,7 @@ type Store struct {
 	lru     *list.List // front = most recently seen UE
 	anoms   anomalyRing
 	lastTMs float64 // newest record time seen (ms)
+	lake    Lake    // optional spill target; nil = evicted bins are lost
 }
 
 // New creates a store with the given configuration.
@@ -133,11 +137,17 @@ func (st *Store) AddCell(cellID uint16, tti time.Duration) error {
 	if _, dup := st.cells[cellID]; dup {
 		return fmt.Errorf("history: cell %d already registered", cellID)
 	}
-	st.cells[cellID] = &cellHistory{
+	c := &cellHistory{
 		id:     cellID,
 		ttiMS:  float64(tti) / float64(time.Millisecond),
 		series: newSeries(st.cfg.Depth),
 	}
+	c.evict = func(binIdx int64, b *Bin) {
+		if st.lake != nil {
+			st.lake.SpillBin(c.id, 0, true, binIdx, b)
+		}
+	}
+	st.cells[cellID] = c
 	return nil
 }
 
@@ -174,7 +184,7 @@ func (st *Store) Ingest(cellID uint16, rec telemetry.Record) {
 	idx := int64(tms / st.binMS)
 	met.ingested.Inc()
 
-	if cb := c.series.advance(idx, nil); cb != nil {
+	if cb := c.series.advance(idx, nil, c.evict); cb != nil {
 		cb.addRecord(rec)
 	} else {
 		met.late.Inc()
@@ -189,7 +199,7 @@ func (st *Store) Ingest(cellID uint16, rec telemetry.Record) {
 	}
 	st.lru.MoveToFront(u.elem)
 	u.lastTMs = tms
-	if ub := u.series.advance(idx, u.close); ub != nil {
+	if ub := u.series.advance(idx, u.close, u.evict); ub != nil {
 		ub.addRecord(rec)
 	} else {
 		met.late.Inc()
@@ -219,7 +229,7 @@ func (st *Store) IngestSpare(cellID uint16, slotIdx int, sp *telemetry.SpareCapa
 		st.lastTMs = tms
 	}
 	idx := int64(tms / st.binMS)
-	if cb := c.series.advance(idx, nil); cb != nil {
+	if cb := c.series.advance(idx, nil, c.evict); cb != nil {
 		cb.UsedREs += int64(sp.UsedREs)
 		cb.TotalREs += int64(sp.TotalREs)
 	}
@@ -228,7 +238,7 @@ func (st *Store) IngestSpare(cellID uint16, slotIdx int, sp *telemetry.SpareCapa
 		if u == nil {
 			continue
 		}
-		if ub := u.series.advance(idx, u.close); ub != nil {
+		if ub := u.series.advance(idx, u.close, u.evict); ub != nil {
 			ub.SpareBits += bits
 		}
 	}
@@ -244,6 +254,11 @@ func (st *Store) addUE(k ueKey) *ueSeries {
 	}
 	u := &ueSeries{key: k, series: newSeries(st.cfg.Depth)}
 	u.close = func(b Bin, binIdx int64) { st.binClosed(u, b, binIdx) }
+	u.evict = func(binIdx int64, b *Bin) {
+		if st.lake != nil {
+			st.lake.SpillBin(u.key.cell, u.key.rnti, false, binIdx, b)
+		}
+	}
 	u.elem = st.lru.PushFront(u)
 	st.ues[k] = u
 	met.tracked.Set(int64(len(st.ues)))
@@ -267,6 +282,10 @@ func (st *Store) evictIdleLocked(nowMs float64) {
 }
 
 func (st *Store) evictLocked(u *ueSeries) {
+	// A whole-series eviction spills every retained bin: the UE may
+	// come back under the same C-RNTI, and a later query must still see
+	// the full session.
+	st.spillSeriesLocked(u.key.cell, u.key.rnti, false, &u.series)
 	st.lru.Remove(u.elem)
 	delete(st.ues, u.key)
 	met.evicted.Inc()

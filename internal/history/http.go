@@ -50,24 +50,43 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError answers with a JSON error body — malformed parameters get
+// 400, unknown cells/UEs get 404 — so API consumers never have to
+// distinguish "empty result" from "you asked about nothing".
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}
+
 // cellParam resolves the cell query parameter, defaulting to the only
-// registered cell when there is exactly one.
-func (st *Store) cellParam(r *http.Request) (uint16, error) {
+// registered cell when there is exactly one. A malformed or ambiguous
+// parameter is a 400; a well-formed cell id that is not registered is
+// a 404.
+func (st *Store) cellParam(r *http.Request) (uint16, int, error) {
 	if s := r.URL.Query().Get("cell"); s != "" {
 		v, err := strconv.ParseUint(s, 10, 16)
 		if err != nil {
-			return 0, fmt.Errorf("bad cell %q", s)
+			return 0, http.StatusBadRequest, fmt.Errorf("bad cell %q", s)
 		}
-		return uint16(v), nil
+		st.mu.RLock()
+		_, known := st.cells[uint16(v)]
+		st.mu.RUnlock()
+		if !known {
+			return 0, http.StatusNotFound, fmt.Errorf("cell %d not monitored", v)
+		}
+		return uint16(v), 0, nil
 	}
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if len(st.cells) == 1 {
 		for id := range st.cells {
-			return id, nil
+			return id, 0, nil
 		}
 	}
-	return 0, fmt.Errorf("cell parameter required (%d cells tracked)", len(st.cells))
+	return 0, http.StatusBadRequest, fmt.Errorf("cell parameter required (%d cells tracked)", len(st.cells))
 }
 
 func parseRNTI(s string) (uint16, error) {
@@ -118,9 +137,9 @@ func (st *Store) rangeParams(r *http.Request) (fromMs, toMs float64, downsample 
 }
 
 func (st *Store) serveUEs(w http.ResponseWriter, r *http.Request) {
-	cell, err := st.cellParam(r)
+	cell, code, err := st.cellParam(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, code, "%s", err)
 		return
 	}
 	ues := st.UEs(cell)
@@ -132,31 +151,26 @@ func (st *Store) serveUEs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (st *Store) serveUE(w http.ResponseWriter, r *http.Request) {
-	cell, err := st.cellParam(r)
+	cell, code, err := st.cellParam(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, code, "%s", err)
 		return
 	}
 	rnti, err := parseRNTI(r.URL.Query().Get("rnti"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "%s", err)
 		return
 	}
 	fromMs, toMs, downsample, err := st.rangeParams(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "%s", err)
 		return
 	}
 	bins := st.Query(cell, rnti, fromMs, toMs, downsample)
-	if bins == nil {
+	if bins == nil && !st.ueKnown(cell, rnti) {
 		// Distinguish an unknown UE from an empty range.
-		st.mu.RLock()
-		_, known := st.ues[ueKey{cell, rnti}]
-		st.mu.RUnlock()
-		if !known {
-			http.Error(w, fmt.Sprintf("rnti 0x%04x not tracked on cell %d", rnti, cell), http.StatusNotFound)
-			return
-		}
+		writeError(w, http.StatusNotFound, "rnti 0x%04x not tracked on cell %d", rnti, cell)
+		return
 	}
 	writeJSON(w, struct {
 		Cell  uint16      `json:"cell"`
@@ -167,14 +181,14 @@ func (st *Store) serveUE(w http.ResponseWriter, r *http.Request) {
 }
 
 func (st *Store) serveCell(w http.ResponseWriter, r *http.Request) {
-	cell, err := st.cellParam(r)
+	cell, code, err := st.cellParam(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, code, "%s", err)
 		return
 	}
 	fromMs, toMs, downsample, err := st.rangeParams(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "%s", err)
 		return
 	}
 	writeJSON(w, struct {
@@ -203,7 +217,7 @@ func (st *Store) serveTopK(w http.ResponseWriter, r *http.Request) {
 	if s := q.Get("window"); s != "" {
 		d, err := time.ParseDuration(s)
 		if err != nil || d <= 0 {
-			http.Error(w, fmt.Sprintf("bad window %q", s), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad window %q", s)
 			return
 		}
 		window = d
@@ -212,14 +226,14 @@ func (st *Store) serveTopK(w http.ResponseWriter, r *http.Request) {
 	if s := q.Get("k"); s != "" {
 		v, err := strconv.Atoi(s)
 		if err != nil || v < 1 {
-			http.Error(w, fmt.Sprintf("bad k %q", s), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad k %q", s)
 			return
 		}
 		k = v
 	}
 	ranks, err := st.TopK(metric, window, k)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "%s", err)
 		return
 	}
 	writeJSON(w, struct {

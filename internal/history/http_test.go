@@ -275,21 +275,41 @@ func TestHTTPErrors(t *testing.T) {
 		{"/history/ue?rnti=zzz", http.StatusBadRequest},  // bad rnti
 		{"/history/ue?rnti=0x9999", http.StatusNotFound}, // unknown rnti
 		{"/history/ue?rnti=0x0100&window=bogus", http.StatusBadRequest},
+		{"/history/ue?rnti=0x0100&window=-2s", http.StatusBadRequest},
 		{"/history/ue?rnti=0x0100&downsample=0", http.StatusBadRequest},
-		{"/history/ue?rnti=0x0100&cell=77", http.StatusNotFound},   // unknown cell -> UE unknown
-		{"/history/ue?rnti=0x0100&cell=xx", http.StatusBadRequest}, // bad cell
+		{"/history/ue?rnti=0x0100&cell=77", http.StatusNotFound}, // unmonitored cell
+		{"/history/ue?rnti=0x0100&cell=xx", http.StatusBadRequest},
+		{"/history/ue?rnti=0x0100&cell=99999999", http.StatusBadRequest}, // out of uint16 range
+		{"/history/ues?cell=77", http.StatusNotFound},
+		{"/history/cell?cell=77", http.StatusNotFound},
 		{"/history/topk?metric=bogus", http.StatusBadRequest},
 		{"/history/topk?k=0", http.StatusBadRequest},
+		{"/history/topk?window=nope", http.StatusBadRequest},
 		{"/history/cell?from_ms=abc", http.StatusBadRequest},
+		{"/history/cell?to_ms=1e", http.StatusBadRequest},
 	} {
 		resp, err := http.Get(ts.URL + tc.path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
 		if resp.StatusCode != tc.code {
+			resp.Body.Close()
 			t.Errorf("%s: status %d, want %d", tc.path, resp.StatusCode, tc.code)
+			continue
 		}
+		// Every error response must carry a machine-readable JSON body.
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type %q, want application/json", tc.path, ct)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Errorf("%s: error body not JSON: %v", tc.path, err)
+		} else if body.Error == "" {
+			t.Errorf("%s: empty error message", tc.path)
+		}
+		resp.Body.Close()
 	}
 }
 

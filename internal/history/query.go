@@ -50,57 +50,85 @@ func (st *Store) sample(b Bin, startMs, spanMs float64) BinSample {
 	return s
 }
 
-// querySeries extracts [fromMs, toMs) from a series, merging groups of
-// `downsample` consecutive bins (1 = raw bins). Caller holds st.mu.
-func (st *Store) querySeries(s *series, fromMs, toMs float64, downsample int) []BinSample {
-	if s.n == 0 {
-		return nil
-	}
+// querySeries extracts [fromMs, toMs) from a series merged with its
+// lake spill-over, grouping `downsample` consecutive bins per sample
+// (1 = raw bins). Bin indices below the RAM ring's retained window are
+// answered from the lake; indices the ring covers are answered from
+// RAM (plus any disk bins a re-created series left behind, which merge
+// by summing). Caller holds st.mu.
+func (st *Store) querySeries(cell, rnti uint16, cellSeries bool, s *series, fromMs, toMs float64, downsample int) []BinSample {
 	if downsample < 1 {
 		downsample = 1
 	}
-	if toMs <= 0 {
-		toMs = float64(s.curIdx+1) * st.binMS
+	var diskMin, diskMax int64
+	var haveDisk bool
+	if st.lake != nil {
+		diskMin, diskMax, haveDisk = st.lake.SeriesBounds(cell, rnti, cellSeries)
 	}
-	first := s.oldestIdx()
-	last := s.curIdx
+	haveRAM := s != nil && s.n > 0
+	if !haveRAM && !haveDisk {
+		return nil
+	}
+	var first, last int64
+	switch {
+	case haveRAM && haveDisk:
+		first, last = min(diskMin, s.oldestIdx()), max(diskMax, s.curIdx)
+	case haveRAM:
+		first, last = s.oldestIdx(), s.curIdx
+	default:
+		first, last = diskMin, diskMax
+	}
 	if fromMs > 0 {
 		if i := int64(fromMs / st.binMS); i > first {
 			first = i
 		}
 	}
-	if i := int64((toMs - 1e-9) / st.binMS); i < last {
-		last = i
+	if toMs > 0 {
+		if i := int64((toMs - 1e-9) / st.binMS); i < last {
+			last = i
+		}
 	}
 	if first > last {
 		return nil
 	}
-	out := make([]BinSample, 0, int(last-first+1+int64(downsample)-1)/downsample)
-	for idx := first; idx <= last; idx += int64(downsample) {
-		var acc Bin
-		span := int64(0)
-		for j := idx; j <= last && j < idx+int64(downsample); j++ {
-			acc.merge(s.at(j))
-			span++
+	ds := int64(downsample)
+	acc := make([]Bin, (last-first)/ds+1)
+	if haveDisk && diskMin <= last && diskMax >= first {
+		_ = st.lake.ReadSeries(cell, rnti, cellSeries, first, last, func(idx int64, b Bin) {
+			acc[(idx-first)/ds].Merge(b)
+		})
+	}
+	if haveRAM {
+		rFirst, rLast := max(s.oldestIdx(), first), min(s.curIdx, last)
+		for idx := rFirst; idx <= rLast; idx++ {
+			acc[(idx-first)/ds].Merge(s.at(idx))
 		}
-		out = append(out, st.sample(acc, float64(idx)*st.binMS, float64(span)*st.binMS))
+	}
+	out := make([]BinSample, 0, len(acc))
+	for i := range acc {
+		start := first + int64(i)*ds
+		span := min(ds, last-start+1)
+		out = append(out, st.sample(acc[i], float64(start)*st.binMS, float64(span)*st.binMS))
 	}
 	return out
 }
 
 // Query returns a UE's windowed aggregates over [fromMs, toMs), oldest
 // first, merging `downsample` bins per sample (toMs <= 0 means "up to
-// now"; fromMs <= 0 means "from the oldest retained bin"). A nil slice
-// means the UE is unknown (or its history has no bins in range).
+// now"; fromMs <= 0 means "from the oldest bin anywhere — disk or
+// RAM"). A nil slice means the UE is unknown to both the rings and the
+// lake (or its history has no bins in range).
 func (st *Store) Query(cellID, rnti uint16, fromMs, toMs float64, downsample int) []BinSample {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	met.queries.Inc()
-	u := st.ues[ueKey{cellID, rnti}]
-	if u == nil {
+	var s *series
+	if u := st.ues[ueKey{cellID, rnti}]; u != nil {
+		s = &u.series
+	} else if st.lake == nil {
 		return nil
 	}
-	return st.querySeries(&u.series, fromMs, toMs, downsample)
+	return st.querySeries(cellID, rnti, false, s, fromMs, toMs, downsample)
 }
 
 // QueryWindow is Query over the trailing window ending at the newest
@@ -113,7 +141,8 @@ func (st *Store) QueryWindow(cellID, rnti uint16, window time.Duration, downsamp
 	return st.Query(cellID, rnti, from, 0, downsample)
 }
 
-// CellQuery returns the cell-level aggregate series over [fromMs, toMs).
+// CellQuery returns the cell-level aggregate series over [fromMs, toMs),
+// merged across the RAM ring and the lake.
 func (st *Store) CellQuery(cellID uint16, fromMs, toMs float64, downsample int) []BinSample {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -122,7 +151,7 @@ func (st *Store) CellQuery(cellID uint16, fromMs, toMs float64, downsample int) 
 	if c == nil {
 		return nil
 	}
-	return st.querySeries(&c.series, fromMs, toMs, downsample)
+	return st.querySeries(cellID, 0, true, &c.series, fromMs, toMs, downsample)
 }
 
 // UERank is one TopK result row.
@@ -134,7 +163,10 @@ type UERank struct {
 
 // TopK ranks tracked UEs (across all cells) by a metric summed over the
 // trailing window: "dl_bits", "ul_bits", "bits", "grants", "retx",
-// "retx_rate", "prbs", "spare_bits".
+// "retx_rate", "prbs", "spare_bits". With a lake attached, windows
+// reaching below a UE's RAM ring pull the spilled remainder from disk,
+// and UEs evicted from RAM entirely re-enter the ranking from their
+// spilled bins alone.
 func (st *Store) TopK(metric string, window time.Duration, k int) ([]UERank, error) {
 	extract, err := metricFunc(metric)
 	if err != nil {
@@ -144,6 +176,7 @@ func (st *Store) TopK(metric string, window time.Duration, k int) ([]UERank, err
 	defer st.mu.RUnlock()
 	met.queries.Inc()
 	fromIdx := int64((st.lastTMs - float64(window)/float64(time.Millisecond)) / st.binMS)
+	lastIdx := int64(st.lastTMs / st.binMS)
 	ranks := make([]UERank, 0, len(st.ues))
 	for key, u := range st.ues {
 		var acc Bin
@@ -152,13 +185,39 @@ func (st *Store) TopK(metric string, window time.Duration, k int) ([]UERank, err
 			first = fromIdx
 		}
 		for idx := first; idx <= u.series.curIdx && u.series.n > 0; idx++ {
-			acc.merge(u.series.at(idx))
+			acc.Merge(u.series.at(idx))
+		}
+		if st.lake != nil && u.series.n > 0 && fromIdx < u.series.oldestIdx() {
+			if _, _, ok := st.lake.SeriesBounds(key.cell, key.rnti, false); ok {
+				_ = st.lake.ReadSeries(key.cell, key.rnti, false, fromIdx, u.series.oldestIdx()-1,
+					func(_ int64, b Bin) { acc.Merge(b) })
+			}
 		}
 		ranks = append(ranks, UERank{Cell: key.cell, RNTI: key.rnti, Value: extract(acc)})
+	}
+	if st.lake != nil {
+		// UEs that only survive on disk (evicted from RAM).
+		for cellID := range st.cells {
+			for _, rnti := range st.lake.SpilledUEs(cellID) {
+				if _, live := st.ues[ueKey{cellID, rnti}]; live {
+					continue
+				}
+				var acc Bin
+				_ = st.lake.ReadSeries(cellID, rnti, false, fromIdx, lastIdx,
+					func(_ int64, b Bin) { acc.Merge(b) })
+				if acc == (Bin{}) {
+					continue
+				}
+				ranks = append(ranks, UERank{Cell: cellID, RNTI: rnti, Value: extract(acc)})
+			}
+		}
 	}
 	sort.Slice(ranks, func(i, j int) bool {
 		if ranks[i].Value != ranks[j].Value {
 			return ranks[i].Value > ranks[j].Value
+		}
+		if ranks[i].Cell != ranks[j].Cell {
+			return ranks[i].Cell < ranks[j].Cell
 		}
 		return ranks[i].RNTI < ranks[j].RNTI
 	})
@@ -221,7 +280,7 @@ func (st *Store) UEs(cellID uint16) []UESummary {
 		}
 		var acc Bin
 		for idx := u.series.oldestIdx(); idx <= u.series.curIdx && u.series.n > 0; idx++ {
-			acc.merge(u.series.at(idx))
+			acc.Merge(u.series.at(idx))
 		}
 		out = append(out, UESummary{
 			Cell: key.cell, RNTI: key.rnti, LastMs: u.lastTMs, Bins: u.series.n,
@@ -277,7 +336,7 @@ func (st *Store) Snapshot() Snapshot {
 		c := st.cells[id]
 		var acc Bin
 		for idx := c.series.oldestIdx(); idx <= c.series.curIdx && c.series.n > 0; idx++ {
-			acc.merge(c.series.at(idx))
+			acc.Merge(c.series.at(idx))
 		}
 		snap.Cells = append(snap.Cells, CellSummary{
 			Cell: id, UEs: perCell[id],

@@ -1,0 +1,329 @@
+package lake
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// On-disk segment layout:
+//
+//	block*  each: magic "LKBK" u32 | payloadLen u32 | crc32(payload) u32 | payload
+//	footer  same framing with magic "LKFT"; payload = block index
+//	trailer footerOff u64 LE | magic "LKS1"
+//
+// A sealed segment is located by its trailer; an unsealed one (writer
+// crashed mid-spill) is recovered by a sequential CRC-verified scan
+// that truncates the first torn block and re-seals.
+
+const (
+	blockMagic  = 0x4c4b424b // "LKBK"
+	footerMagic = 0x4c4b4654 // "LKFT"
+	sealMagic   = 0x4c4b5331 // "LKS1"
+	frameHdr    = 12         // magic + payloadLen + crc
+	trailerLen  = 12         // footerOff + sealMagic
+	maxPayload  = 1 << 28
+)
+
+var castagnoli = crc32.IEEETable // IEEE polynomial, stdlib-precomputed
+
+// blockRef locates one block inside a segment and carries enough of
+// its header to answer index queries without touching disk.
+type blockRef struct {
+	seg        *segment
+	off        int64
+	plen       int
+	kind       uint8
+	cell, rnti uint16
+	minIdx     int64
+	maxIdx     int64
+	count      int
+}
+
+// segment is one on-disk segment file.
+type segment struct {
+	path   string
+	name   string // manifest-relative name
+	seq    uint64
+	cell   uint16
+	f      *os.File
+	size   int64
+	sealed bool
+}
+
+// appendBlock frames and writes one encoded payload, returning its
+// offset.
+func (s *segment) appendBlock(payload []byte) (int64, error) {
+	off := s.size
+	var hdr [frameHdr]byte
+	binary.LittleEndian.PutUint32(hdr[0:], blockMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.Checksum(payload, castagnoli))
+	if _, err := s.f.WriteAt(hdr[:], off); err != nil {
+		return 0, err
+	}
+	if _, err := s.f.WriteAt(payload, off+frameHdr); err != nil {
+		return 0, err
+	}
+	s.size = off + frameHdr + int64(len(payload))
+	return off, nil
+}
+
+// readBlock reads and CRC-verifies the block at off, returning its
+// payload.
+func (s *segment) readBlock(off int64, plen int) ([]byte, error) {
+	buf := make([]byte, frameHdr+plen)
+	if _, err := s.f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:]); m != blockMagic && m != footerMagic {
+		return nil, fmt.Errorf("lake: bad block magic %#x at %s+%d", m, s.name, off)
+	}
+	if got := binary.LittleEndian.Uint32(buf[4:]); int(got) != plen {
+		return nil, fmt.Errorf("lake: block length mismatch at %s+%d", s.name, off)
+	}
+	payload := buf[frameHdr:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[8:]) {
+		return nil, fmt.Errorf("lake: block CRC mismatch at %s+%d", s.name, off)
+	}
+	return payload, nil
+}
+
+// seal writes the footer index + trailer and fsyncs. The segment stays
+// readable through its open handle.
+func (s *segment) seal(refs []blockRef) error {
+	if s.sealed {
+		return nil
+	}
+	payload := appendFooter(nil, refs)
+	footerOff := s.size
+	var hdr [frameHdr]byte
+	binary.LittleEndian.PutUint32(hdr[0:], footerMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.Checksum(payload, castagnoli))
+	if _, err := s.f.WriteAt(hdr[:], footerOff); err != nil {
+		return err
+	}
+	if _, err := s.f.WriteAt(payload, footerOff+frameHdr); err != nil {
+		return err
+	}
+	var tr [trailerLen]byte
+	binary.LittleEndian.PutUint64(tr[0:], uint64(footerOff))
+	binary.LittleEndian.PutUint32(tr[8:], sealMagic)
+	if _, err := s.f.WriteAt(tr[:], footerOff+frameHdr+int64(len(payload))); err != nil {
+		return err
+	}
+	s.size = footerOff + frameHdr + int64(len(payload)) + trailerLen
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.sealed = true
+	return nil
+}
+
+// appendFooter encodes the block index.
+func appendFooter(buf []byte, refs []blockRef) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(refs)))
+	for _, r := range refs {
+		buf = binary.AppendUvarint(buf, uint64(r.off))
+		buf = binary.AppendUvarint(buf, uint64(r.plen))
+		buf = append(buf, r.kind)
+		buf = binary.AppendUvarint(buf, uint64(r.cell))
+		buf = binary.AppendUvarint(buf, uint64(r.rnti))
+		buf = binary.AppendVarint(buf, r.minIdx)
+		buf = binary.AppendVarint(buf, r.maxIdx)
+		buf = binary.AppendUvarint(buf, uint64(r.count))
+	}
+	return buf
+}
+
+// parseFooter decodes a footer payload into refs bound to seg.
+func parseFooter(seg *segment, p []byte) ([]blockRef, error) {
+	n, w := binary.Uvarint(p)
+	if w <= 0 || n > 1<<24 {
+		return nil, fmt.Errorf("lake: bad footer count in %s", seg.name)
+	}
+	p = p[w:]
+	refs := make([]blockRef, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var r blockRef
+		r.seg = seg
+		u := func() uint64 {
+			v, m := binary.Uvarint(p)
+			if m <= 0 {
+				w = -1
+				return 0
+			}
+			p = p[m:]
+			return v
+		}
+		v := func() int64 {
+			x, m := binary.Varint(p)
+			if m <= 0 {
+				w = -1
+				return 0
+			}
+			p = p[m:]
+			return x
+		}
+		r.off = int64(u())
+		r.plen = int(u())
+		if w < 0 || len(p) == 0 {
+			return nil, fmt.Errorf("lake: truncated footer in %s", seg.name)
+		}
+		r.kind = p[0]
+		p = p[1:]
+		r.cell = uint16(u())
+		r.rnti = uint16(u())
+		r.minIdx = v()
+		r.maxIdx = v()
+		r.count = int(u())
+		if w < 0 {
+			return nil, fmt.Errorf("lake: truncated footer in %s", seg.name)
+		}
+		refs = append(refs, r)
+	}
+	return refs, nil
+}
+
+// openSegment opens an existing segment file. Sealed segments load
+// their footer index; unsealed ones are scanned, the first torn block
+// truncated, and the valid prefix re-sealed (recovered=true).
+func openSegment(path, name string, seq uint64, cell uint16) (*segment, []blockRef, bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, false, err
+	}
+	seg := &segment{path: path, name: name, seq: seq, cell: cell, f: f, size: st.Size()}
+
+	if refs, ok := seg.loadFooter(); ok {
+		seg.sealed = true
+		return seg, refs, false, nil
+	}
+
+	// No valid trailer: sequential scan + truncate + re-seal.
+	refs, validEnd := seg.scan()
+	if validEnd < seg.size {
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, nil, false, err
+		}
+	}
+	seg.size = validEnd
+	if err := seg.seal(refs); err != nil {
+		f.Close()
+		return nil, nil, false, err
+	}
+	return seg, refs, true, nil
+}
+
+// loadFooter tries the sealed-segment fast path.
+func (s *segment) loadFooter() ([]blockRef, bool) {
+	if s.size < trailerLen {
+		return nil, false
+	}
+	var tr [trailerLen]byte
+	if _, err := s.f.ReadAt(tr[:], s.size-trailerLen); err != nil {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(tr[8:]) != sealMagic {
+		return nil, false
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(tr[0:]))
+	plen := s.size - trailerLen - footerOff - frameHdr
+	if footerOff < 0 || plen < 0 || plen > maxPayload {
+		return nil, false
+	}
+	payload, err := s.readBlock(footerOff, int(plen))
+	if err != nil {
+		return nil, false
+	}
+	refs, err := parseFooter(s, payload)
+	if err != nil {
+		return nil, false
+	}
+	return refs, true
+}
+
+// scan walks blocks from the start, stopping at the first torn or
+// CRC-failing block. Returns the refs of valid blocks and the byte
+// offset of the valid prefix's end.
+func (s *segment) scan() ([]blockRef, int64) {
+	var refs []blockRef
+	off := int64(0)
+	var hdr [frameHdr]byte
+	for off+frameHdr <= s.size {
+		if _, err := s.f.ReadAt(hdr[:], off); err != nil {
+			break
+		}
+		magic := binary.LittleEndian.Uint32(hdr[0:])
+		if magic != blockMagic {
+			break // footer of a prior seal, garbage, or torn write
+		}
+		plen := int64(binary.LittleEndian.Uint32(hdr[4:]))
+		if plen > maxPayload || off+frameHdr+plen > s.size {
+			break
+		}
+		payload, err := s.readBlock(off, int(plen))
+		if err != nil {
+			met.crcErrors.Inc()
+			break
+		}
+		r, err := refFromPayload(s, off, payload)
+		if err != nil {
+			break
+		}
+		refs = append(refs, r)
+		off += frameHdr + plen
+	}
+	return refs, off
+}
+
+// refFromPayload builds a blockRef by decoding just enough of a
+// payload: the header and the bin-index bounds.
+func refFromPayload(s *segment, off int64, payload []byte) (blockRef, error) {
+	h, err := parseBlockPayload(payload)
+	if err != nil {
+		return blockRef{}, err
+	}
+	r := blockRef{
+		seg: s, off: off, plen: len(payload),
+		kind: h.kind, cell: h.cell, rnti: h.rnti, count: h.count,
+	}
+	if h.kind != kindAnomaly && h.count > 0 {
+		idxs, err := decodeBinIdx(h.cols[0], h.count, nil)
+		if err != nil {
+			return blockRef{}, err
+		}
+		r.minIdx, r.maxIdx = idxs[0], idxs[0]
+		for _, idx := range idxs[1:] {
+			r.minIdx, r.maxIdx = min(r.minIdx, idx), max(r.maxIdx, idx)
+		}
+	}
+	return r, nil
+}
+
+// createSegment creates a fresh segment file (O_EXCL: names are
+// sequence-unique).
+func createSegment(path, name string, seq uint64, cell uint16) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &segment{path: path, name: name, seq: seq, cell: cell, f: f}, nil
+}
+
+func (s *segment) close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -183,6 +183,27 @@ func New(cfg Config) *Supervisor {
 // Shards reports the shard count.
 func (s *Supervisor) Shards() int { return len(s.shards) }
 
+// AttachLakes gives every shard's history partition its own spill
+// target (history bins evicted from a partition's RAM rings land in
+// that shard's lake, and the partition's queries — and therefore the
+// rollup fan-in — answer across RAM + disk transparently). The opener
+// is called once per shard index so the caller controls the on-disk
+// layout (typically one lake directory per shard). Must be called
+// after New and before Start.
+func (s *Supervisor) AttachLakes(open func(shard int) (history.Lake, error)) error {
+	if s.started {
+		return errors.New("shard: AttachLakes after Start")
+	}
+	for i, sh := range s.shards {
+		l, err := open(i)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		sh.store.AttachLake(l)
+	}
+	return nil
+}
+
 // Store returns shard i's history partition (for tests and partition-
 // local queries; cross-shard queries go through the rollup layer).
 func (s *Supervisor) Store(i int) *history.Store { return s.shards[i].store }
