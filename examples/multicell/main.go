@@ -86,7 +86,8 @@ func main() {
 	// views were computed from — the moving UE's last second on cell B:
 	if onB != 0 {
 		var bits int64
-		for _, b := range store.QueryWindow(idB, onB, time.Second, 1) {
+		bins, _ := store.QueryWindow(idB, onB, time.Second, 1)
+		for _, b := range bins {
 			bits += b.DLBits
 		}
 		fmt.Printf("moving UE 0x%04x on cell B: %d DL bits in its last retained second\n", onB, bits)

@@ -52,7 +52,8 @@ func main() {
 	fmt.Println("time(s)  UE        used(Mbps)  spare(Mbps)  usedREs  spareREs")
 	slotsPerBin := float64(250*time.Millisecond) / float64(tti)
 	for _, rnti := range []uint16{ue1, ue2} {
-		for _, bin := range st.Query(cellID, rnti, 0, 3000, 1) {
+		bins, _ := st.Query(cellID, rnti, 0, 3000, 1)
+		for _, bin := range bins {
 			if bin.Grants == 0 {
 				continue
 			}
@@ -60,7 +61,7 @@ func main() {
 			// UsedREs/TotalREs are cell-wide sums — report the per-slot
 			// average to match the paper's per-TTI framing.
 			spareBps := bin.SpareBits / (bin.SpanMs / 1e3)
-			cell := st.CellQuery(cellID, bin.StartMs, bin.StartMs+bin.SpanMs, 1)
+			cell, _ := st.CellQuery(cellID, bin.StartMs, bin.StartMs+bin.SpanMs, 1)
 			var usedREs, spareREs float64
 			if len(cell) == 1 && cell[0].TotalREs > 0 {
 				usedREs = float64(cell[0].UsedREs) / slotsPerBin

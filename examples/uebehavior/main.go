@@ -78,7 +78,8 @@ func main() {
 	// least one grant marks its UE scheduled in that second.
 	perSecond := map[int64]int{}
 	for _, ue := range st.UEs(cfg.CellID) {
-		for _, bin := range st.Query(cfg.CellID, ue.RNTI, 0, duration.Seconds()*1e3, 1) {
+		bins, _ := st.Query(cfg.CellID, ue.RNTI, 0, duration.Seconds()*1e3, 1)
+		for _, bin := range bins {
 			if bin.Grants > 0 {
 				perSecond[int64(bin.StartMs/1e3)]++
 			}

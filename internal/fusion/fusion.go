@@ -397,7 +397,9 @@ func (m MergedBin) At() time.Duration {
 func (a *Aggregator) Merged() []MergedBin {
 	var out []MergedBin
 	for _, c := range a.cells {
-		for _, s := range a.store.CellQuery(c.id, 0, 0, 1) {
+		// The retained rings are Depth-bounded, far under the query cap.
+		bins, _ := a.store.CellQuery(c.id, 0, 0, 1)
+		for _, s := range bins {
 			if s.Grants == 0 && s.TotalREs == 0 {
 				continue // silent bin inside the retained window
 			}

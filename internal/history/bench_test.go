@@ -43,7 +43,7 @@ func BenchmarkHistoryQuery(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if bins := st.QueryWindow(1, uint16(i%1000), time.Second, 1); len(bins) == 0 {
+		if bins, _ := st.QueryWindow(1, uint16(i%1000), time.Second, 1); len(bins) == 0 {
 			b.Fatal("empty query")
 		}
 	}

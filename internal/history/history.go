@@ -46,6 +46,13 @@ type Config struct {
 	IdleHorizon time.Duration
 	// AnomalyDepth is the anomaly ring capacity (default 256).
 	AnomalyDepth int
+	// MaxQuerySamples caps how many samples a single query may
+	// materialize (default 100000). With a lake attached the queryable
+	// span is no longer bounded by Depth, so an unconstrained
+	// full-history query at downsample=1 could allocate without bound;
+	// over-wide requests fail with a *TooWideError instead — narrow the
+	// range or raise the downsample factor.
+	MaxQuerySamples int
 	// Anomaly thresholds; see anomaly.go (zero = defaults).
 	Anomaly AnomalyConfig
 }
@@ -62,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AnomalyDepth <= 0 {
 		c.AnomalyDepth = 256
+	}
+	if c.MaxQuerySamples <= 0 {
+		c.MaxQuerySamples = 100000
 	}
 	c.Anomaly = c.Anomaly.withDefaults()
 	return c

@@ -1,6 +1,7 @@
 package history
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -34,7 +35,7 @@ func TestBinAggregation(t *testing.T) {
 	st.Ingest(1, msRec(130, 0x100, true, 4000, 7, true)) // retx: no bits
 	st.Ingest(1, msRec(140, 0x100, false, 600, 3, false))
 
-	bins := st.Query(1, 0x100, 0, 0, 1)
+	bins, _ := st.Query(1, 0x100, 0, 0, 1)
 	if len(bins) != 2 {
 		t.Fatalf("bins = %d, want 2 (%+v)", len(bins), bins)
 	}
@@ -62,7 +63,7 @@ func TestSlotTimeFallback(t *testing.T) {
 	// the cell's registered TTI (1 ms in this store).
 	st := newTestStore(t, Config{BinWidth: 100 * time.Millisecond, Depth: 16})
 	st.Ingest(1, telemetry.Record{SlotIdx: 250, RNTI: 0x200, Downlink: true, TBS: 500})
-	bins := st.Query(1, 0x200, 0, 0, 1)
+	bins, _ := st.Query(1, 0x200, 0, 0, 1)
 	if len(bins) != 1 || bins[0].StartMs != 200 {
 		t.Fatalf("bins = %+v, want one bin at 200ms", bins)
 	}
@@ -74,12 +75,12 @@ func TestQueryRangeAndDownsample(t *testing.T) {
 		st.Ingest(1, msRec(float64(i)*100+10, 0x1, true, 100, 4, false))
 	}
 	// Range query: [200, 400) covers bins 2 and 3.
-	bins := st.Query(1, 0x1, 200, 400, 1)
+	bins, _ := st.Query(1, 0x1, 200, 400, 1)
 	if len(bins) != 2 || bins[0].StartMs != 200 || bins[1].StartMs != 300 {
 		t.Fatalf("range query = %+v", bins)
 	}
 	// Downsample by 3: 6 bins -> 2 samples of 300 ms each.
-	ds := st.Query(1, 0x1, 0, 0, 3)
+	ds, _ := st.Query(1, 0x1, 0, 0, 3)
 	if len(ds) != 2 {
 		t.Fatalf("downsample = %+v", ds)
 	}
@@ -103,7 +104,7 @@ func TestLateRecordWithinAndBeyondRing(t *testing.T) {
 	if d["nrscope_history_late_total"] != 2 {
 		t.Errorf("late = %v, want 2", d["nrscope_history_late_total"])
 	}
-	bins := st.Query(1, 0x1, 0, 0, 1)
+	bins, _ := st.Query(1, 0x1, 0, 0, 1)
 	var total int64
 	for _, b := range bins {
 		total += b.DLBits
@@ -121,7 +122,7 @@ func TestCommonRecordsStayOffUESeries(t *testing.T) {
 	if st.TrackedUEs() != 0 {
 		t.Error("common record created a UE series")
 	}
-	cell := st.CellQuery(1, 0, 0, 1)
+	cell, _ := st.CellQuery(1, 0, 0, 1)
 	if len(cell) != 1 || cell[0].Grants != 1 {
 		t.Errorf("cell series = %+v, want the common grant", cell)
 	}
@@ -149,10 +150,10 @@ func TestMaxUEsBounded(t *testing.T) {
 		t.Errorf("evicted = %v, want 49000", d["nrscope_history_ues_evicted_total"])
 	}
 	// LRU: the survivors are the most recently seen RNTIs.
-	if bins := st.Query(1, uint16(49999), 0, 0, 1); bins == nil {
+	if bins, _ := st.Query(1, uint16(49999), 0, 0, 1); bins == nil {
 		t.Error("most recent UE was evicted")
 	}
-	if bins := st.Query(1, uint16(0), 0, 0, 1); bins != nil {
+	if bins, _ := st.Query(1, uint16(0), 0, 0, 1); bins != nil {
 		t.Error("oldest UE survived past the cap")
 	}
 }
@@ -163,10 +164,10 @@ func TestLRUTouchOnActivity(t *testing.T) {
 	st.Ingest(1, msRec(20, 0xB, true, 100, 4, false))
 	st.Ingest(1, msRec(30, 0xA, true, 100, 4, false)) // touch A: B becomes LRU
 	st.Ingest(1, msRec(40, 0xC, true, 100, 4, false)) // evicts B, not A
-	if st.Query(1, 0xA, 0, 0, 1) == nil {
+	if bins, _ := st.Query(1, 0xA, 0, 0, 1); bins == nil {
 		t.Error("recently touched UE evicted")
 	}
-	if st.Query(1, 0xB, 0, 0, 1) != nil {
+	if bins, _ := st.Query(1, 0xB, 0, 0, 1); bins != nil {
 		t.Error("least-recently-seen UE survived")
 	}
 }
@@ -182,7 +183,7 @@ func TestIdleHorizonEviction(t *testing.T) {
 	if got := st.TrackedUEs(); got != 1 {
 		t.Errorf("tracked = %d, want 1 after idle eviction", got)
 	}
-	if st.Query(1, 0xC, 0, 0, 1) == nil {
+	if bins, _ := st.Query(1, 0xC, 0, 0, 1); bins == nil {
 		t.Error("active UE evicted")
 	}
 }
@@ -223,14 +224,14 @@ func TestSpareIngest(t *testing.T) {
 		PerUE: map[uint16]float64{0xA: 1234, 0xB: 999}, // 0xB untracked
 	}
 	st.IngestSpare(1, 50, sp) // slot 50 at 1 ms TTI -> bin 0
-	bins := st.Query(1, 0xA, 0, 0, 1)
+	bins, _ := st.Query(1, 0xA, 0, 0, 1)
 	if len(bins) != 1 || bins[0].SpareBits != 1234 {
 		t.Errorf("UE spare bins = %+v", bins)
 	}
 	if st.TrackedUEs() != 1 {
 		t.Error("spare data created a UE series")
 	}
-	cell := st.CellQuery(1, 0, 0, 1)
+	cell, _ := st.CellQuery(1, 0, 0, 1)
 	if len(cell) != 1 || cell[0].UsedREs != 2000 || cell[0].TotalREs != 5000 {
 		t.Errorf("cell spare accounting = %+v", cell)
 	}
@@ -295,12 +296,44 @@ func TestGapLargerThanRingResets(t *testing.T) {
 	st.Ingest(1, msRec(10, 0xA, true, 1000, 4, false))
 	// Jump far beyond the ring: old bins must vanish, not loop O(gap).
 	st.Ingest(1, msRec(1e9, 0xA, true, 2000, 4, false))
-	bins := st.Query(1, 0xA, 0, 0, 1)
+	bins, _ := st.Query(1, 0xA, 0, 0, 1)
 	var total int64
 	for _, b := range bins {
 		total += b.DLBits
 	}
 	if total != 2000 {
 		t.Errorf("retained DL bits after jump = %d, want 2000", total)
+	}
+}
+
+// TestQueryTooWide: a query materializing more samples than
+// MaxQuerySamples must fail with a TooWideError instead of allocating
+// proportionally to the span (with a lake attached the span is
+// unbounded — days of 100 ms bins is an OOM vector, not a slow query).
+func TestQueryTooWide(t *testing.T) {
+	st := newTestStore(t, Config{BinWidth: 100 * time.Millisecond, Depth: 64, MaxQuerySamples: 10})
+	for i := 0; i < 50; i++ {
+		st.Ingest(1, msRec(float64(i)*100+10, 0x1, true, 100, 4, false))
+	}
+	_, err := st.Query(1, 0x1, 0, 0, 1) // 50 bins > cap 10
+	var twe *TooWideError
+	if !errors.As(err, &twe) {
+		t.Fatalf("over-wide query err = %v, want *TooWideError", err)
+	}
+	if twe.Samples != 50 || twe.Cap != 10 {
+		t.Errorf("TooWideError = %+v, want samples 50 cap 10", twe)
+	}
+	// Raising the downsample factor brings the request under the cap...
+	bins, err := st.Query(1, 0x1, 0, 0, 5)
+	if err != nil || len(bins) != 10 {
+		t.Fatalf("downsampled query = %d bins, err %v; want 10, nil", len(bins), err)
+	}
+	// ...and so does narrowing the range.
+	bins, err = st.Query(1, 0x1, 0, 1000, 1)
+	if err != nil || len(bins) != 10 {
+		t.Fatalf("narrowed query = %d bins, err %v; want 10, nil", len(bins), err)
+	}
+	if _, err := st.CellQuery(1, 0, 0, 1); !errors.As(err, &twe) {
+		t.Errorf("over-wide cell query err = %v, want *TooWideError", err)
 	}
 }

@@ -166,7 +166,11 @@ func (st *Store) serveUE(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%s", err)
 		return
 	}
-	bins := st.Query(cell, rnti, fromMs, toMs, downsample)
+	bins, err := st.Query(cell, rnti, fromMs, toMs, downsample)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
 	if bins == nil && !st.ueKnown(cell, rnti) {
 		// Distinguish an unknown UE from an empty range.
 		writeError(w, http.StatusNotFound, "rnti 0x%04x not tracked on cell %d", rnti, cell)
@@ -191,12 +195,17 @@ func (st *Store) serveCell(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%s", err)
 		return
 	}
+	bins, err := st.CellQuery(cell, fromMs, toMs, downsample)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
 	writeJSON(w, struct {
 		Cell     uint16      `json:"cell"`
 		BinMs    float64     `json:"bin_ms"`
 		Snapshot Snapshot    `json:"snapshot"`
 		Bins     []BinSample `json:"bins"`
-	}{cell, st.binMS * float64(downsample), st.Snapshot(), st.CellQuery(cell, fromMs, toMs, downsample)})
+	}{cell, st.binMS * float64(downsample), st.Snapshot(), bins})
 }
 
 func (st *Store) serveAnomalies(w http.ResponseWriter, r *http.Request) {

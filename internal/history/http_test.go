@@ -342,3 +342,38 @@ func TestCellParamRequiredWithTwoCells(t *testing.T) {
 		t.Errorf("explicit cell: status %d, want 200", resp.StatusCode)
 	}
 }
+
+// TestHTTPQueryTooWide: a request materializing more samples than the
+// store's cap is a 400 with guidance, not an unbounded allocation.
+func TestHTTPQueryTooWide(t *testing.T) {
+	st := history.New(history.Config{BinWidth: 100 * time.Millisecond, Depth: 64, MaxQuerySamples: 10})
+	if err := st.AddCell(1, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		st.Ingest(1, telemetry.Record{TMs: float64(i)*100 + 10, RNTI: 0x100, Downlink: true, TBS: 1000, MCS: 5, NumPRB: 4})
+	}
+	ts := httptest.NewServer(st.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/history/ue?rnti=0x0100", http.StatusBadRequest},
+		{"/history/cell", http.StatusBadRequest},
+		{"/history/ue?rnti=0x0100&downsample=5", http.StatusOK},
+		{"/history/cell?downsample=5", http.StatusOK},
+		{"/history/ue?rnti=0x0100&from_ms=4000", http.StatusOK},
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.path, resp.StatusCode, tc.code)
+		}
+	}
+}

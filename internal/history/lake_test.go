@@ -108,7 +108,7 @@ func TestEvictSpillsToLake(t *testing.T) {
 	}
 
 	// The merged query must cover the whole span, oldest bin first.
-	got := st.Query(1, 0x1, 0, 0, 1)
+	got, _ := st.Query(1, 0x1, 0, 0, 1)
 	if len(got) != bins {
 		t.Fatalf("merged query bins = %d, want %d", len(got), bins)
 	}
@@ -135,7 +135,7 @@ func TestGapEvictionSpills(t *testing.T) {
 	if len(ue) != 2 || ue[0].DLBits != 100 || ue[1].DLBits != 200 {
 		t.Fatalf("gap spill = %v, want bins 0 and 1", ue)
 	}
-	got := st.Query(1, 0x1, 0, 0, 1)
+	got, _ := st.Query(1, 0x1, 0, 0, 1)
 	if len(got) != 51 {
 		t.Fatalf("merged span = %d bins, want 51 (0..50)", len(got))
 	}
@@ -163,7 +163,7 @@ func TestUEEvictionSpillsWholeSeries(t *testing.T) {
 		t.Fatalf("evicted UE spill = %v", got)
 	}
 	// The evicted UE still answers queries from disk alone...
-	bins := st.Query(1, 0xA, 0, 0, 1)
+	bins, _ := st.Query(1, 0xA, 0, 0, 1)
 	if len(bins) != 1 || bins[0].DLBits != 1000 {
 		t.Fatalf("disk-only query = %+v", bins)
 	}
@@ -199,8 +199,8 @@ func TestRAMDiskBoundaryEquality(t *testing.T) {
 
 	for _, rnti := range []uint16{0x100, 0x101, 0x102} {
 		for _, ds := range []int{1, 3} {
-			got := small.QueryWindow(1, rnti, 10*time.Second, ds)
-			want := big.QueryWindow(1, rnti, 10*time.Second, ds)
+			got, _ := small.QueryWindow(1, rnti, 10*time.Second, ds)
+			want, _ := big.QueryWindow(1, rnti, 10*time.Second, ds)
 			if len(got) != len(want) {
 				t.Fatalf("rnti %#x ds %d: %d bins vs %d", rnti, ds, len(got), len(want))
 			}
@@ -211,8 +211,8 @@ func TestRAMDiskBoundaryEquality(t *testing.T) {
 			}
 		}
 	}
-	gotCell := small.CellQuery(1, 0, 0, 1)
-	wantCell := big.CellQuery(1, 0, 0, 1)
+	gotCell, _ := small.CellQuery(1, 0, 0, 1)
+	wantCell, _ := big.CellQuery(1, 0, 0, 1)
 	if len(gotCell) != len(wantCell) {
 		t.Fatalf("cell bins %d vs %d", len(gotCell), len(wantCell))
 	}

@@ -13,9 +13,12 @@ package history
 // Spill methods are invoked on the ingest path with the store lock held
 // and must not block or allocate: implementations enqueue into a
 // bounded ring and do the encoding on their own goroutine. Read methods
-// are invoked on the query path (store read lock held) and must observe
-// every spilled bin exactly once, including bins still queued behind
-// the writer — a bin leaves the RAM ring and becomes the lake's
+// are invoked on the query path — usually under the store read lock,
+// but TopK issues its disk reads after releasing it so slow scans
+// cannot stall ingest, so implementations must be internally
+// synchronized against concurrent spills. Reads must observe every
+// spilled bin exactly once, including bins still queued behind the
+// writer — a bin leaves the RAM ring and becomes the lake's
 // responsibility at the moment Spill returns.
 type Lake interface {
 	// SpillBin receives one bin evicted from a ring. cellSeries

@@ -50,13 +50,25 @@ func (st *Store) sample(b Bin, startMs, spanMs float64) BinSample {
 	return s
 }
 
+// TooWideError reports a query whose materialized sample count would
+// exceed the store's MaxQuerySamples cap. The HTTP layer maps it to a
+// 400; callers narrow from/to or raise the downsample factor.
+type TooWideError struct {
+	Samples int64 // samples the request would materialize
+	Cap     int
+}
+
+func (e *TooWideError) Error() string {
+	return fmt.Sprintf("history: query would materialize %d samples (cap %d): narrow from_ms/to_ms or raise downsample", e.Samples, e.Cap)
+}
+
 // querySeries extracts [fromMs, toMs) from a series merged with its
 // lake spill-over, grouping `downsample` consecutive bins per sample
 // (1 = raw bins). Bin indices below the RAM ring's retained window are
 // answered from the lake; indices the ring covers are answered from
 // RAM (plus any disk bins a re-created series left behind, which merge
 // by summing). Caller holds st.mu.
-func (st *Store) querySeries(cell, rnti uint16, cellSeries bool, s *series, fromMs, toMs float64, downsample int) []BinSample {
+func (st *Store) querySeries(cell, rnti uint16, cellSeries bool, s *series, fromMs, toMs float64, downsample int) ([]BinSample, error) {
 	if downsample < 1 {
 		downsample = 1
 	}
@@ -67,7 +79,7 @@ func (st *Store) querySeries(cell, rnti uint16, cellSeries bool, s *series, from
 	}
 	haveRAM := s != nil && s.n > 0
 	if !haveRAM && !haveDisk {
-		return nil
+		return nil, nil
 	}
 	var first, last int64
 	switch {
@@ -89,9 +101,15 @@ func (st *Store) querySeries(cell, rnti uint16, cellSeries bool, s *series, from
 		}
 	}
 	if first > last {
-		return nil
+		return nil, nil
 	}
 	ds := int64(downsample)
+	// With a lake attached [first, last] can span days of spilled bins;
+	// the two materialized slices below are proportional to it, so an
+	// unbounded span is an OOM vector, not just a slow query.
+	if n := (last-first)/ds + 1; n > int64(st.cfg.MaxQuerySamples) {
+		return nil, &TooWideError{Samples: n, Cap: st.cfg.MaxQuerySamples}
+	}
 	acc := make([]Bin, (last-first)/ds+1)
 	if haveDisk && diskMin <= last && diskMax >= first {
 		_ = st.lake.ReadSeries(cell, rnti, cellSeries, first, last, func(idx int64, b Bin) {
@@ -110,15 +128,16 @@ func (st *Store) querySeries(cell, rnti uint16, cellSeries bool, s *series, from
 		span := min(ds, last-start+1)
 		out = append(out, st.sample(acc[i], float64(start)*st.binMS, float64(span)*st.binMS))
 	}
-	return out
+	return out, nil
 }
 
 // Query returns a UE's windowed aggregates over [fromMs, toMs), oldest
 // first, merging `downsample` bins per sample (toMs <= 0 means "up to
 // now"; fromMs <= 0 means "from the oldest bin anywhere — disk or
-// RAM"). A nil slice means the UE is unknown to both the rings and the
-// lake (or its history has no bins in range).
-func (st *Store) Query(cellID, rnti uint16, fromMs, toMs float64, downsample int) []BinSample {
+// RAM"). A nil slice with a nil error means the UE is unknown to both
+// the rings and the lake (or its history has no bins in range); a
+// *TooWideError means the range must be narrowed or downsampled.
+func (st *Store) Query(cellID, rnti uint16, fromMs, toMs float64, downsample int) ([]BinSample, error) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	met.queries.Inc()
@@ -126,14 +145,14 @@ func (st *Store) Query(cellID, rnti uint16, fromMs, toMs float64, downsample int
 	if u := st.ues[ueKey{cellID, rnti}]; u != nil {
 		s = &u.series
 	} else if st.lake == nil {
-		return nil
+		return nil, nil
 	}
 	return st.querySeries(cellID, rnti, false, s, fromMs, toMs, downsample)
 }
 
 // QueryWindow is Query over the trailing window ending at the newest
 // record the store has seen.
-func (st *Store) QueryWindow(cellID, rnti uint16, window time.Duration, downsample int) []BinSample {
+func (st *Store) QueryWindow(cellID, rnti uint16, window time.Duration, downsample int) ([]BinSample, error) {
 	from := st.LastMs() - float64(window)/float64(time.Millisecond)
 	if from < 0 {
 		from = 0
@@ -143,13 +162,13 @@ func (st *Store) QueryWindow(cellID, rnti uint16, window time.Duration, downsamp
 
 // CellQuery returns the cell-level aggregate series over [fromMs, toMs),
 // merged across the RAM ring and the lake.
-func (st *Store) CellQuery(cellID uint16, fromMs, toMs float64, downsample int) []BinSample {
+func (st *Store) CellQuery(cellID uint16, fromMs, toMs float64, downsample int) ([]BinSample, error) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	met.queries.Inc()
 	c := st.cells[cellID]
 	if c == nil {
-		return nil
+		return nil, nil
 	}
 	return st.querySeries(cellID, 0, true, &c.series, fromMs, toMs, downsample)
 }
@@ -172,38 +191,71 @@ func (st *Store) TopK(metric string, window time.Duration, k int) ([]UERank, err
 	if err != nil {
 		return nil, err
 	}
+	// Phase 1, under the store lock: sum the RAM rings and snapshot
+	// which series need a disk remainder. The lake reads themselves run
+	// after the lock is released — a cold-cache TopK over a large lake
+	// must not stall Ingest for the scan's duration (the lake is
+	// internally synchronized).
+	type ueAcc struct {
+		key    ueKey
+		acc    Bin
+		diskTo int64 // >= fromIdx: read [fromIdx, diskTo] from the lake
+	}
 	st.mu.RLock()
-	defer st.mu.RUnlock()
 	met.queries.Inc()
+	lake := st.lake
 	fromIdx := int64((st.lastTMs - float64(window)/float64(time.Millisecond)) / st.binMS)
 	lastIdx := int64(st.lastTMs / st.binMS)
-	ranks := make([]UERank, 0, len(st.ues))
+	accs := make([]ueAcc, 0, len(st.ues))
 	for key, u := range st.ues {
-		var acc Bin
+		a := ueAcc{key: key, diskTo: fromIdx - 1}
 		first := u.series.oldestIdx()
 		if fromIdx > first {
 			first = fromIdx
 		}
 		for idx := first; idx <= u.series.curIdx && u.series.n > 0; idx++ {
-			acc.Merge(u.series.at(idx))
+			a.acc.Merge(u.series.at(idx))
 		}
-		if st.lake != nil && u.series.n > 0 && fromIdx < u.series.oldestIdx() {
-			if _, _, ok := st.lake.SeriesBounds(key.cell, key.rnti, false); ok {
-				_ = st.lake.ReadSeries(key.cell, key.rnti, false, fromIdx, u.series.oldestIdx()-1,
-					func(_ int64, b Bin) { acc.Merge(b) })
+		if lake != nil && u.series.n > 0 && fromIdx < u.series.oldestIdx() {
+			a.diskTo = u.series.oldestIdx() - 1
+		}
+		accs = append(accs, a)
+	}
+	var cellIDs []uint16
+	if lake != nil {
+		cellIDs = make([]uint16, 0, len(st.cells))
+		for cellID := range st.cells {
+			cellIDs = append(cellIDs, cellID)
+		}
+	}
+	st.mu.RUnlock()
+
+	ranks := make([]UERank, 0, len(accs))
+	for i := range accs {
+		a := &accs[i]
+		if lake != nil && a.diskTo >= fromIdx {
+			if _, _, ok := lake.SeriesBounds(a.key.cell, a.key.rnti, false); ok {
+				_ = lake.ReadSeries(a.key.cell, a.key.rnti, false, fromIdx, a.diskTo,
+					func(_ int64, b Bin) { a.acc.Merge(b) })
 			}
 		}
-		ranks = append(ranks, UERank{Cell: key.cell, RNTI: key.rnti, Value: extract(acc)})
+		ranks = append(ranks, UERank{Cell: a.key.cell, RNTI: a.key.rnti, Value: extract(a.acc)})
 	}
-	if st.lake != nil {
-		// UEs that only survive on disk (evicted from RAM).
-		for cellID := range st.cells {
-			for _, rnti := range st.lake.SpilledUEs(cellID) {
-				if _, live := st.ues[ueKey{cellID, rnti}]; live {
+	if lake != nil {
+		// UEs that only survive on disk (evicted from RAM). "Live" is
+		// the set snapshotted above: a UE evicted after the unlock was
+		// already ranked from its RAM bins.
+		live := make(map[ueKey]bool, len(accs))
+		for i := range accs {
+			live[accs[i].key] = true
+		}
+		for _, cellID := range cellIDs {
+			for _, rnti := range lake.SpilledUEs(cellID) {
+				if live[ueKey{cellID, rnti}] {
 					continue
 				}
 				var acc Bin
-				_ = st.lake.ReadSeries(cellID, rnti, false, fromIdx, lastIdx,
+				_ = lake.ReadSeries(cellID, rnti, false, fromIdx, lastIdx,
 					func(_ int64, b Bin) { acc.Merge(b) })
 				if acc == (Bin{}) {
 					continue

@@ -271,9 +271,10 @@ func (l *Lake) SpillAnomaly(a history.Anomaly) {
 // reserve claims the next free ring slot, or returns nil if the lake
 // is closed or the ring is full (the drop is counted). Runs on the
 // ingest hot path under the history store's lock: no mutex, no
-// allocation. The caller fills the slot and publishes it with commit
-// before the store lock is released — readers cannot observe the
-// half-filled slot because they also hold the store lock.
+// allocation. The caller fills the slot and publishes it with commit —
+// readers cannot observe the half-filled slot because they only visit
+// slots below the acquire-loaded pushIdx, and a slot is never reused
+// while a reader holds qmu (the consumer cannot advance popIdx).
 func (l *Lake) reserve() (*entry, uint64) {
 	if l.closed.Load() {
 		met.dropped.Inc()

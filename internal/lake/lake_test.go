@@ -488,3 +488,49 @@ func TestLakeSoakFlatHeap(t *testing.T) {
 	}
 	t.Logf("heap %+d bytes, segments +%d bytes", growHeap, growBytes)
 }
+
+// TestCrashRecoveryAnomalyBounds: anomaly blocks rescued by the CRC
+// scan must carry their real AtMs bounds, both in the recovered index
+// and in the re-sealed footer — zero bounds would make retention read
+// the segment as infinitely old and delete live anomaly data.
+func TestCrashRecoveryAnomalyBounds(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, idleCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SpillAnomaly(history.Anomaly{Cell: 5, RNTI: 0x11, Kind: "retx_spike", AtMs: 1234, Value: 1, Baseline: 0.1})
+	l.SpillAnomaly(history.Anomaly{Cell: 5, RNTI: 0x12, Kind: "throughput_collapse", AtMs: 5678, Value: 2, Baseline: 0.2})
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Abandon() // crash: segment unsealed, reopen must recover by scan
+
+	// First reopen recovers by scan (and re-seals); second reopen takes
+	// the footer fast path. Both must see real ms bounds.
+	for _, via := range []string{"scan", "footer"} {
+		l2, err := Open(dir, idleCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2.mu.RLock()
+		refs := append([]blockRef(nil), l2.anomRefs...)
+		l2.mu.RUnlock()
+		if len(refs) == 0 {
+			t.Fatalf("%s: no anomaly refs recovered", via)
+		}
+		minMs, maxMs := refs[0].minIdx, refs[0].maxIdx
+		for _, r := range refs[1:] {
+			minMs, maxMs = min(minMs, r.minIdx), max(maxMs, r.maxIdx)
+		}
+		if minMs != 1234 || maxMs != 5678 {
+			t.Errorf("%s: anomaly ref bounds = [%d,%d] ms, want [1234,5678]", via, minMs, maxMs)
+		}
+		if anoms := l2.Anomalies(); len(anoms) != 2 || anoms[0].AtMs != 1234 || anoms[1].AtMs != 5678 {
+			t.Errorf("%s: recovered anomalies = %+v", via, anoms)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

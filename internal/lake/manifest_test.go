@@ -1,0 +1,76 @@
+package lake
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestManifestTornTailAppend reproduces a crash mid-append: the
+// manifest ends in a torn line with no newline. Replay must drop the
+// torn entry, and — critically — the next append must start on a fresh
+// line instead of concatenating onto the torn tail (which would corrupt
+// the new registration and orphan-delete its segment on the next Open).
+func TestManifestTornTailAppend(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, manifestName)
+	torn := "add cell-00001/seg-00000001.seg\nadd cell-00001/seg-"
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, names, err := openManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "cell-00001/seg-00000001.seg" {
+		t.Fatalf("replayed names = %v, want the one complete entry", names)
+	}
+	if err := m.add("cell-00001/seg-00000003.seg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, names, err := openManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.close()
+	want := []string{"cell-00001/seg-00000001.seg", "cell-00001/seg-00000003.seg"}
+	if len(names) != len(want) || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("names after torn-tail append = %v, want %v", names, want)
+	}
+}
+
+// TestManifestTornOnlyLine: the torn line is the only content — the
+// whole file must be truncated and the first append still replay clean.
+func TestManifestTornOnlyLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, manifestName)
+	if err := os.WriteFile(path, []byte("add cell-000"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, names, err := openManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("replayed names = %v, want none", names)
+	}
+	if err := m.add("cell-00002/seg-00000001.seg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, names, err := openManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.close()
+	if len(names) != 1 || names[0] != "cell-00002/seg-00000001.seg" {
+		t.Fatalf("names = %v, want the appended entry alone", names)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 )
 
@@ -26,7 +27,7 @@ const (
 	maxPayload  = 1 << 28
 )
 
-var castagnoli = crc32.IEEETable // IEEE polynomial, stdlib-precomputed
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // blockRef locates one block inside a segment and carries enough of
 // its header to answer index queries without touching disk.
@@ -59,7 +60,7 @@ func (s *segment) appendBlock(payload []byte) (int64, error) {
 	var hdr [frameHdr]byte
 	binary.LittleEndian.PutUint32(hdr[0:], blockMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[8:], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.Checksum(payload, crcTable))
 	if _, err := s.f.WriteAt(hdr[:], off); err != nil {
 		return 0, err
 	}
@@ -84,7 +85,7 @@ func (s *segment) readBlock(off int64, plen int) ([]byte, error) {
 		return nil, fmt.Errorf("lake: block length mismatch at %s+%d", s.name, off)
 	}
 	payload := buf[frameHdr:]
-	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[8:]) {
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(buf[8:]) {
 		return nil, fmt.Errorf("lake: block CRC mismatch at %s+%d", s.name, off)
 	}
 	return payload, nil
@@ -101,7 +102,7 @@ func (s *segment) seal(refs []blockRef) error {
 	var hdr [frameHdr]byte
 	binary.LittleEndian.PutUint32(hdr[0:], footerMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[8:], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.Checksum(payload, crcTable))
 	if _, err := s.f.WriteAt(hdr[:], footerOff); err != nil {
 		return err
 	}
@@ -296,7 +297,29 @@ func refFromPayload(s *segment, off int64, payload []byte) (blockRef, error) {
 		seg: s, off: off, plen: len(payload),
 		kind: h.kind, cell: h.cell, rnti: h.rnti, count: h.count,
 	}
-	if h.kind != kindAnomaly && h.count > 0 {
+	switch {
+	case h.kind == kindAnomaly && h.count > 0:
+		// Anomaly ref bounds are in ms (the AtMs column), mirroring the
+		// writer: leaving them zero would make retention read a
+		// recovered segment as infinitely old and delete it.
+		if len(h.cols) != anomColumns {
+			return blockRef{}, fmt.Errorf("lake: anomaly block has %d columns, want %d", len(h.cols), anomColumns)
+		}
+		col := h.cols[3]
+		for i := 0; i < h.count; i++ {
+			v, n := binary.Uvarint(col)
+			if n <= 0 {
+				return blockRef{}, fmt.Errorf("lake: truncated anomaly t_ms column")
+			}
+			col = col[n:]
+			ms := int64(math.Float64frombits(v))
+			if i == 0 {
+				r.minIdx, r.maxIdx = ms, ms
+			} else {
+				r.minIdx, r.maxIdx = min(r.minIdx, ms), max(r.maxIdx, ms)
+			}
+		}
+	case h.kind != kindAnomaly && h.count > 0:
 		idxs, err := decodeBinIdx(h.cols[0], h.count, nil)
 		if err != nil {
 			return blockRef{}, err

@@ -94,7 +94,7 @@ func TestFailoverPanicRestartResumesPartition(t *testing.T) {
 	if got := sup.Store(victim).TrackedUEs(); got != 2 {
 		t.Fatalf("post-restart partition tracks %d UEs, want 2 (0x4601 survived + 0x4777 new)", got)
 	}
-	samples := sup.Store(victim).Query(1, 0x4601, 0, 0, 1)
+	samples, _ := sup.Store(victim).Query(1, 0x4601, 0, 0, 1)
 	var grants int64
 	for _, s := range samples {
 		grants += s.Grants
@@ -204,7 +204,7 @@ func TestFailoverQueuesDuringOutage(t *testing.T) {
 		t.Fatalf("accounting open after outage: applied %d + dropped %d != ingested %d",
 			h.Applied, h.Dropped, h.Ingested)
 	}
-	samples := sup.Store(victim).Query(1, 0x4601, 0, 0, 1)
+	samples, _ := sup.Store(victim).Query(1, 0x4601, 0, 0, 1)
 	var grants int64
 	for _, s := range samples {
 		grants += s.Grants

@@ -118,7 +118,7 @@ func TestIngestRoutesToOwningPartition(t *testing.T) {
 	sup.Flush()
 	for c := 1; c <= 6; c++ {
 		idx, _ := sup.Partition(uint16(c))
-		samples := sup.Store(idx).QueryWindow(uint16(c), 0x4600+uint16(c), time.Second, 1)
+		samples, _ := sup.Store(idx).QueryWindow(uint16(c), 0x4600+uint16(c), time.Second, 1)
 		var grants int64
 		for _, b := range samples {
 			grants += b.Grants
@@ -131,7 +131,7 @@ func TestIngestRoutesToOwningPartition(t *testing.T) {
 			if other == idx {
 				continue
 			}
-			if leaked := sup.Store(other).QueryWindow(uint16(c), 0x4600+uint16(c), time.Second, 1); leaked != nil {
+			if leaked, _ := sup.Store(other).QueryWindow(uint16(c), 0x4600+uint16(c), time.Second, 1); leaked != nil {
 				t.Fatalf("cell %d leaked into shard %d", c, other)
 			}
 		}
