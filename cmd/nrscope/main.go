@@ -30,6 +30,15 @@
 //	tcp:ADDR     serve JSONL over TCP on ADDR (per-connection DropOldest
 //	             queues: a slow subscriber drops its own records)
 //	sse          serve server-sent events on the -metrics mux at /events
+//	promrw:URL   push Prometheus remote-write frames to URL
+//	influx:URL   push InfluxDB v2 line protocol (?bucket=B required)
+//	otlp:URL     push OTLP/HTTP JSON metrics to URL
+//
+// The pump sinks (promrw, influx, otlp) take ?key=value options on the
+// URL — auth, timestamps, batching, frame size — documented under
+// pump.FromSpec; with -replay they backfill a recorded capture into the
+// remote store. At exit every bus subscription prints a delivery
+// summary (delivered / dropped / retries / quarantines).
 //
 // The legacy -log PATH and -stream ADDR flags remain as shorthands for
 // jsonl: and tcp: sinks.
@@ -59,6 +68,7 @@ import (
 	"nrscope/internal/history"
 	"nrscope/internal/lake"
 	"nrscope/internal/obs"
+	"nrscope/internal/pump"
 	"nrscope/internal/shard"
 )
 
@@ -572,16 +582,25 @@ func printHistorySummary(store *history.Store) {
 
 // setupSinks builds the telemetry bus from the -sink specs. Returns a
 // nil bus when no sinks are requested. The returned closer drains the
-// bus (Block sinks lose zero records) and then shuts the TCP servers.
+// bus (Block sinks lose zero records), prints each subscription's
+// delivery summary, and then shuts the TCP servers.
 func setupSinks(specs []string, rotateMB int64, metricsSrv *obs.Server) (*bus.Bus, func(), error) {
 	if len(specs) == 0 {
 		return nil, func() {}, nil
 	}
 	b := bus.New()
 	var tcpServers []*bus.TCPServer
+	var subs []*bus.Subscription
 	closer := func() {
 		if err := b.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "nrscope: sink drain: %v\n", err)
+		}
+		stats := make([]bus.SubStats, len(subs))
+		for i, sub := range subs {
+			stats[i] = sub.Stats()
+		}
+		for _, line := range formatSinkSummary(stats) {
+			fmt.Fprintf(os.Stderr, "nrscope: %s\n", line)
 		}
 		for _, srv := range tcpServers {
 			_ = srv.Close()
@@ -603,9 +622,11 @@ func setupSinks(specs []string, rotateMB int64, metricsSrv *obs.Server) (*bus.Bu
 				return fail(err)
 			}
 			// Block policy: the log is the lossless record of the run.
-			if _, err := b.Subscribe("jsonl", bus.Block, sink); err != nil {
+			sub, err := b.Subscribe("jsonl", bus.Block, sink)
+			if err != nil {
 				return fail(err)
 			}
+			subs = append(subs, sub)
 		case "tcp":
 			if arg == "" {
 				return fail(fmt.Errorf("nrscope: -sink tcp needs an address (tcp:ADDR)"))
@@ -622,11 +643,59 @@ func setupSinks(specs []string, rotateMB int64, metricsSrv *obs.Server) (*bus.Bu
 			}
 			metricsSrv.Handle("/events", bus.SSEHandler(b))
 			fmt.Fprintf(os.Stderr, "nrscope: SSE telemetry on http://%s/events\n", metricsSrv.Addr())
+		case "promrw", "influx", "otlp":
+			snk, tun, err := pump.FromSpec(kind, arg)
+			if err != nil {
+				return fail(err)
+			}
+			// Live pumps default to DropOldest (freshness over
+			// completeness towards a remote store); ?block=true opts
+			// into lossless. Retry/backoff/quarantine ride on the bus
+			// runner defaults; the pump counts its bus-side drops so
+			// sent + dropped closes against the published total.
+			policy := bus.DropOldest
+			if tun.Block {
+				policy = bus.Block
+			}
+			sub, err := b.Subscribe(snk.Name(), policy, snk,
+				bus.WithQueueSize(tun.Queue),
+				bus.WithBatch(tun.Batch, tun.Flush),
+				bus.WithDropNotify(snk.CountDrops))
+			if err != nil {
+				_ = snk.Close()
+				return fail(err)
+			}
+			subs = append(subs, sub)
+			fmt.Fprintf(os.Stderr, "nrscope: pumping telemetry to %s (%s, %s)\n", snk.URL(), kind, policy)
 		default:
-			return fail(fmt.Errorf("nrscope: unknown sink %q (want jsonl:PATH, tcp:ADDR or sse)", spec))
+			return fail(fmt.Errorf("nrscope: unknown sink %q (want jsonl:PATH, tcp:ADDR, sse, promrw:URL, influx:URL or otlp:URL)", spec))
 		}
 	}
 	return b, closer, nil
+}
+
+// formatSinkSummary renders the end-of-run delivery ledger, one line
+// per bus subscription. Zero-valued failure columns are elided so the
+// healthy case stays short.
+func formatSinkSummary(stats []bus.SubStats) []string {
+	lines := make([]string, 0, len(stats))
+	for _, st := range stats {
+		line := fmt.Sprintf("sink %s: %d delivered, %d dropped", st.Name, st.Delivered, st.Dropped)
+		if st.Rejected > 0 {
+			line += fmt.Sprintf(", %d rejected", st.Rejected)
+		}
+		if st.Retries > 0 {
+			line += fmt.Sprintf(", %d retries", st.Retries)
+		}
+		if st.Failures > 0 {
+			line += fmt.Sprintf(", %d failures", st.Failures)
+		}
+		if st.Quarantines > 0 {
+			line += fmt.Sprintf(", %d quarantines", st.Quarantines)
+		}
+		lines = append(lines, line)
+	}
+	return lines
 }
 
 // runReplay post-processes a recorded capture file offline (§4: the

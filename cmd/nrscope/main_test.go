@@ -1,0 +1,72 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"nrscope/internal/bus"
+	"nrscope/internal/telemetry"
+)
+
+func TestFormatSinkSummary(t *testing.T) {
+	got := formatSinkSummary([]bus.SubStats{
+		{Name: "jsonl", Delivered: 1200},
+		{Name: "promrw", Delivered: 1180, Dropped: 20, Retries: 6, Failures: 2, Quarantines: 1},
+		{Name: "tcp", Delivered: 7, Dropped: 0, Rejected: 3},
+	})
+	want := []string{
+		"sink jsonl: 1200 delivered, 0 dropped",
+		"sink promrw: 1180 delivered, 20 dropped, 6 retries, 2 failures, 1 quarantines",
+		"sink tcp: 7 delivered, 0 dropped, 3 rejected",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("formatSinkSummary =\n%q\nwant\n%q", got, want)
+	}
+	if lines := formatSinkSummary(nil); len(lines) != 0 {
+		t.Errorf("empty stats produced %q", lines)
+	}
+}
+
+func TestSetupSinksPump(t *testing.T) {
+	var got atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	b, closer, err := setupSinks([]string{"promrw:" + srv.URL + "?name=setup_sinks_test&flush=2ms"}, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == nil {
+		t.Fatal("pump spec returned a nil bus")
+	}
+	if err := b.Publish(telemetry.Record{RNTI: 0x4601, TBS: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	closer()
+	if got.Load() == 0 {
+		t.Error("pump never reached the backend")
+	}
+}
+
+func TestSetupSinksErrors(t *testing.T) {
+	for _, specs := range [][]string{
+		{"promrw:not-a-url"},
+		{"influx:http://db:8086"}, // no bucket
+		{"kafka:broker:9092"},
+	} {
+		if _, _, err := setupSinks(specs, 64, nil); err == nil {
+			t.Errorf("setupSinks(%q) succeeded, want error", specs)
+		}
+	}
+	b, closer, err := setupSinks(nil, 64, nil)
+	if err != nil || b != nil {
+		t.Errorf("no specs: bus=%v err=%v, want nil/nil", b, err)
+	}
+	closer()
+}

@@ -81,6 +81,7 @@ type subConfig struct {
 	cooldown        time.Duration
 	failFast        bool
 	onClose         func()
+	onDrop          func(n int)
 }
 
 func defaultSubConfig() subConfig {
@@ -165,6 +166,18 @@ func WithFailFast() SubOption {
 // subscription's runner exits (drain complete or fail-fast abort).
 func WithOnClose(fn func()) SubOption {
 	return func(c *subConfig) { c.onClose = fn }
+}
+
+// WithDropNotify registers a callback invoked with the number of
+// records just dropped towards the sink — queue evictions (DropOldest),
+// quarantine drops, failed deliveries after retries, and fail-fast
+// aborts. It lets a sink keep its own drop accounting (the pump SDK's
+// nrscope_pump_<name>_records_dropped_total) in lockstep with the
+// runner's, so sent + dropped == published holds per sink. Called from
+// publisher and runner goroutines without the queue lock held; fn must
+// be cheap and safe for concurrent use.
+func WithDropNotify(fn func(n int)) SubOption {
+	return func(c *subConfig) { c.onDrop = fn }
 }
 
 // Bus fans published records out to its subscriptions.
@@ -357,6 +370,7 @@ func (s *Subscription) signal() {
 // push enqueues one record per the backpressure policy. Returns false
 // if the subscription is closing (the record is counted as rejected).
 func (s *Subscription) push(rec telemetry.Record) bool {
+	evicted := 0
 	s.mu.Lock()
 	for s.n == len(s.buf) {
 		if s.closed {
@@ -369,6 +383,7 @@ func (s *Subscription) push(rec telemetry.Record) bool {
 			s.head = (s.head + 1) % len(s.buf)
 			s.n--
 			s.met.dropped.Inc()
+			evicted++
 			break
 		}
 		s.notFull.Wait()
@@ -376,14 +391,24 @@ func (s *Subscription) push(rec telemetry.Record) bool {
 	if s.closed {
 		s.mu.Unlock()
 		s.met.rejected.Inc()
+		s.notifyDrop(evicted)
 		return false
 	}
 	s.buf[(s.head+s.n)%len(s.buf)] = rec
 	s.n++
 	s.met.depth.Set(int64(s.n))
 	s.mu.Unlock()
+	s.notifyDrop(evicted)
 	s.signal()
 	return true
+}
+
+// notifyDrop forwards a drop count to the WithDropNotify hook. Callers
+// must not hold s.mu.
+func (s *Subscription) notifyDrop(n int) {
+	if n > 0 && s.cfg.onDrop != nil {
+		s.cfg.onDrop(n)
+	}
 }
 
 // takeLocked moves queued records into batch, up to maxBatch total.
@@ -476,6 +501,7 @@ func (s *Subscription) deliver(batch []telemetry.Record) bool {
 			// Quarantined: the flapping sink degrades to counted drops
 			// instead of stalling its siblings' share of publisher time.
 			s.met.dropped.Add(int64(len(batch)))
+			s.notifyDrop(len(batch))
 			return true
 		}
 		s.quarantineUntil = time.Time{} // cooldown over: probe again
@@ -496,6 +522,7 @@ func (s *Subscription) deliver(batch []telemetry.Record) bool {
 	if err != nil {
 		s.met.failures.Inc()
 		s.met.dropped.Add(int64(len(batch)))
+		s.notifyDrop(len(batch))
 		if s.cfg.failFast {
 			return false
 		}
@@ -533,6 +560,7 @@ func (s *Subscription) abort() {
 	})
 	s.mu.Lock()
 	s.closed = true
+	aborted := s.n
 	if s.n > 0 {
 		s.met.dropped.Add(int64(s.n))
 		s.n = 0
@@ -540,6 +568,7 @@ func (s *Subscription) abort() {
 	}
 	s.notFull.Broadcast()
 	s.mu.Unlock()
+	s.notifyDrop(aborted)
 }
 
 // Dropped reports the subscription's drop counter (DropOldest
@@ -548,3 +577,30 @@ func (s *Subscription) Dropped() int64 { return s.met.dropped.Value() }
 
 // Delivered reports how many records reached the sink successfully.
 func (s *Subscription) Delivered() int64 { return s.met.delivered.Value() }
+
+// SubStats is one sink's delivery accounting, as reported by
+// Subscription.Stats — the per-sink end-of-run summary's data shape.
+type SubStats struct {
+	Name        string
+	Delivered   int64 // records the sink accepted
+	Dropped     int64 // evictions + quarantine drops + failed deliveries
+	Rejected    int64 // pushes refused by a closing queue
+	Retries     int64 // delivery retry attempts
+	Failures    int64 // batches failed after exhausting retries
+	Quarantines int64 // times the sink entered failure quarantine
+}
+
+// Stats snapshots the subscription's delivery counters. Subscriptions
+// sharing a name share instruments, so the counters aggregate across
+// same-named siblings (e.g. every TCP connection under "tcp").
+func (s *Subscription) Stats() SubStats {
+	return SubStats{
+		Name:        s.name,
+		Delivered:   s.met.delivered.Value(),
+		Dropped:     s.met.dropped.Value(),
+		Rejected:    s.met.rejected.Value(),
+		Retries:     s.met.retried.Value(),
+		Failures:    s.met.failures.Value(),
+		Quarantines: s.met.quarantines.Value(),
+	}
+}

@@ -478,3 +478,158 @@ func TestPolicyString(t *testing.T) {
 		t.Error("policy strings wrong")
 	}
 }
+
+// TestQuarantineCooldownResume: a quarantined sink resumes normal
+// delivery once the cooldown elapses — the batch that arrives after the
+// quarantine window is delivered, not dropped.
+func TestQuarantineCooldownResume(t *testing.T) {
+	b := New()
+	defer b.Close()
+	sink := &collectSink{}
+	sink.failing.Store(true)
+	sub, err := b.Subscribe("edge_cooldown", Block, sink,
+		WithBatch(1, time.Millisecond),
+		WithRetry(0, time.Millisecond, time.Millisecond),
+		WithQuarantine(2, 120*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sub.Stats()
+	deadline := time.Now().Add(5 * time.Second)
+	wait := func(cond func() bool, what string) {
+		t.Helper()
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s (stats %+v)", what, sub.Stats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Two consecutive failures engage the quarantine.
+	if err := b.Publish(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	wait(func() bool { return sub.Stats().Quarantines-base.Quarantines >= 1 }, "quarantine entry")
+	calls := sink.calls.Load()
+	// While quarantined: dropped without touching the sink.
+	if err := b.Publish(rec(2)); err != nil {
+		t.Fatal(err)
+	}
+	wait(func() bool { return sub.Stats().Dropped-base.Dropped >= 3 }, "quarantine drop")
+	if got := sink.calls.Load(); got != calls {
+		t.Fatalf("quarantined sink called %d more times", got-calls)
+	}
+	// Past the cooldown, a healthy sink delivers again.
+	sink.failing.Store(false)
+	time.Sleep(150 * time.Millisecond)
+	if err := b.Publish(rec(3)); err != nil {
+		t.Fatal(err)
+	}
+	wait(func() bool { return len(sink.records()) == 1 }, "post-cooldown delivery")
+	if got := sink.records(); got[0].SlotIdx != 3 {
+		t.Fatalf("post-cooldown delivery = slot %d, want 3", got[0].SlotIdx)
+	}
+	st := sub.Stats()
+	if st.Quarantines-base.Quarantines != 1 {
+		t.Errorf("quarantines = %d, want 1", st.Quarantines-base.Quarantines)
+	}
+	if st.Dropped-base.Dropped != 3 || st.Delivered-base.Delivered != 1 {
+		t.Errorf("dropped/delivered = %d/%d, want 3/1",
+			st.Dropped-base.Dropped, st.Delivered-base.Delivered)
+	}
+}
+
+// TestDeliverySuccessResetsFailureCounter: one successful batch resets
+// the consecutive-failure counter, so interleaved failures never reach
+// the quarantine threshold — only an unbroken run does.
+func TestDeliverySuccessResetsFailureCounter(t *testing.T) {
+	b := New()
+	defer b.Close()
+	sink := &collectSink{}
+	sub, err := b.Subscribe("edge_failreset", Block, sink,
+		WithBatch(1, time.Millisecond),
+		WithRetry(0, time.Millisecond, time.Millisecond),
+		WithQuarantine(3, 10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sub.Stats()
+	deadline := time.Now().Add(5 * time.Second)
+	wait := func(cond func() bool, what string) {
+		t.Helper()
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s (stats %+v)", what, sub.Stats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	step := func(slot int, fail bool, calls int64) {
+		t.Helper()
+		sink.failing.Store(fail)
+		if err := b.Publish(rec(slot)); err != nil {
+			t.Fatal(err)
+		}
+		wait(func() bool { return sink.calls.Load() >= calls }, "sink call")
+	}
+	// fail, fail, ok, fail, fail: without the reset the 4th failure
+	// would be the 3rd consecutive and quarantine the sink.
+	step(0, true, 1)
+	step(1, true, 2)
+	step(2, false, 3)
+	step(3, true, 4)
+	step(4, true, 5)
+	wait(func() bool { return sub.Stats().Dropped-base.Dropped >= 4 }, "failed-batch accounting")
+	time.Sleep(10 * time.Millisecond) // let the post-WriteBatch bookkeeping settle
+	if q := sub.Stats().Quarantines - base.Quarantines; q != 0 {
+		t.Fatalf("quarantines = %d after interleaved failures, want 0 (success must reset the counter)", q)
+	}
+	// A third truly-consecutive failure still quarantines.
+	step(5, true, 6)
+	wait(func() bool { return sub.Stats().Quarantines-base.Quarantines >= 1 }, "quarantine after 3 consecutive failures")
+}
+
+// TestDropNotify: the WithDropNotify hook sees every DropOldest
+// eviction, synchronously with the push that caused it, and its total
+// matches the subscription's dropped counter.
+func TestDropNotify(t *testing.T) {
+	b := New()
+	var notified atomic.Int64
+	sink := &collectSink{gate: make(chan struct{})}
+	sub, err := b.Subscribe("edge_dropnotify", DropOldest, sink,
+		WithQueueSize(1), WithBatch(1, time.Millisecond),
+		WithDropNotify(func(n int) { notified.Add(int64(n)) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sub.Dropped()
+	// r0 occupies the (gated) sink; r1 queues; r2 and r3 each evict.
+	if err := b.Publish(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.calls.Load() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := b.Publish(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := notified.Load(); got != 2 {
+		t.Fatalf("notified %d drops, want 2 (evictions are reported synchronously)", got)
+	}
+	close(sink.gate)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := notified.Load(), sub.Dropped()-base; got != want {
+		t.Fatalf("notified %d, dropped counter says %d", got, want)
+	}
+	if got := len(sink.records()); got != 2 {
+		t.Fatalf("delivered %d records, want 2 (r0 and the survivor r3)", got)
+	}
+}

@@ -247,3 +247,77 @@ func TestSSEHandlerClientDisconnect(t *testing.T) {
 		t.Error("SSE subscription leaked after client disconnect")
 	}
 }
+
+// TestJSONLRotateExactBoundary: a batch whose bytes land exactly on the
+// rotation limit rotates once — no double rotation, no lost records —
+// and the next batch starts the fresh file.
+func TestJSONLRotateExactBoundary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "telemetry.jsonl")
+	// Identical records encode to identical line lengths, so n of them
+	// land exactly on n*line bytes.
+	r := rec(7)
+	var probe bytes.Buffer
+	ps := NewJSONLSink(&probe)
+	if err := ps.WriteBatch([]telemetry.Record{r}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	line := int64(probe.Len())
+	const n = 8
+	sink, err := NewJSONLFileSink(path, n*line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]telemetry.Record, n)
+	for i := range batch {
+		batch[i] = r
+	}
+	if err := sink.WriteBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Rotations(); got != 1 {
+		t.Fatalf("Rotations = %d after an exact-boundary batch, want 1", got)
+	}
+	// The next batch lands in the fresh file, and nothing was lost.
+	if err := sink.WriteBatch([]telemetry.Record{rec(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Count(); got != n+1 {
+		t.Fatalf("Count = %d, want %d", got, n+1)
+	}
+	readAll := func(p string) []telemetry.Record {
+		t.Helper()
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		recs, err := telemetry.ReadAll(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	shelved := readAll(path + ".1")
+	if len(shelved) != n {
+		t.Fatalf("rotated generation holds %d records, want %d", len(shelved), n)
+	}
+	for i, got := range shelved {
+		if got.SlotIdx != r.SlotIdx || got.TBS != r.TBS {
+			t.Fatalf("rotated record %d = %+v, want %+v", i, got, r)
+		}
+	}
+	fresh := readAll(path)
+	if len(fresh) != 1 || fresh[0].SlotIdx != 9 {
+		t.Fatalf("fresh generation = %+v, want the single post-rotation record", fresh)
+	}
+	if _, err := os.Stat(path + ".2"); !os.IsNotExist(err) {
+		t.Fatalf("unexpected second rotation generation (err=%v)", err)
+	}
+}

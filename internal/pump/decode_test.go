@@ -1,0 +1,380 @@
+package pump
+
+// Test-side wire-format decoders: the e2e tests must prove the frames
+// are what real backends parse, so each format is decoded independently
+// here — snappy block format uncompressed, the WriteRequest proto
+// walked field by field, line protocol split, OTLP JSON unmarshalled —
+// and compared sample-for-sample with the published records.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"nrscope/internal/telemetry"
+)
+
+// snappyDecode uncompresses a snappy block-format body. It handles
+// literal and copy elements (copies so the decoder stays honest even
+// though our encoder never emits them).
+func snappyDecode(b []byte) ([]byte, error) {
+	want, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("snappy: bad length preamble")
+	}
+	b = b[n:]
+	out := make([]byte, 0, want)
+	for len(b) > 0 {
+		tag := b[0]
+		b = b[1:]
+		switch tag & 3 {
+		case 0: // literal
+			l := int(tag >> 2)
+			switch {
+			case l < 60:
+				l++
+			case l == 60:
+				if len(b) < 1 {
+					return nil, fmt.Errorf("snappy: truncated literal length")
+				}
+				l = int(b[0]) + 1
+				b = b[1:]
+			case l == 61:
+				if len(b) < 2 {
+					return nil, fmt.Errorf("snappy: truncated literal length")
+				}
+				l = int(b[0]) | int(b[1])<<8
+				l++
+				b = b[2:]
+			default:
+				return nil, fmt.Errorf("snappy: unsupported literal length width")
+			}
+			if len(b) < l {
+				return nil, fmt.Errorf("snappy: truncated literal body")
+			}
+			out = append(out, b[:l]...)
+			b = b[l:]
+		case 1: // copy, 1-byte offset
+			if len(b) < 1 {
+				return nil, fmt.Errorf("snappy: truncated copy")
+			}
+			length := int(tag>>2&0x7) + 4
+			offset := int(tag>>5)<<8 | int(b[0])
+			b = b[1:]
+			if err := snappyCopy(&out, offset, length); err != nil {
+				return nil, err
+			}
+		case 2: // copy, 2-byte offset
+			if len(b) < 2 {
+				return nil, fmt.Errorf("snappy: truncated copy")
+			}
+			length := int(tag>>2) + 1
+			offset := int(b[0]) | int(b[1])<<8
+			b = b[2:]
+			if err := snappyCopy(&out, offset, length); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("snappy: 4-byte-offset copies unsupported")
+		}
+	}
+	if uint64(len(out)) != want {
+		return nil, fmt.Errorf("snappy: decoded %d bytes, preamble said %d", len(out), want)
+	}
+	return out, nil
+}
+
+func snappyCopy(out *[]byte, offset, length int) error {
+	if offset <= 0 || offset > len(*out) {
+		return fmt.Errorf("snappy: copy offset %d out of range", offset)
+	}
+	for i := 0; i < length; i++ {
+		*out = append(*out, (*out)[len(*out)-offset])
+	}
+	return nil
+}
+
+// promSample is one decoded remote-write sample.
+type promSample struct {
+	value float64
+	ms    int64
+}
+
+// promSeries is one decoded remote-write TimeSeries.
+type promSeries struct {
+	labels  []([2]string) // in wire order
+	samples []promSample
+}
+
+func (s promSeries) label(name string) string {
+	for _, l := range s.labels {
+		if l[0] == name {
+			return l[1]
+		}
+	}
+	return ""
+}
+
+// parseWriteRequest walks a WriteRequest proto message.
+func parseWriteRequest(b []byte) ([]promSeries, error) {
+	var out []promSeries
+	for len(b) > 0 {
+		field, wire, rest, err := protoReadKey(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		if field != 1 || wire != 2 {
+			return nil, fmt.Errorf("proto: unexpected WriteRequest field %d/wire %d", field, wire)
+		}
+		msg, rest, err := protoReadBytes(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		ts, err := parseTimeSeries(msg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts)
+	}
+	return out, nil
+}
+
+func parseTimeSeries(b []byte) (promSeries, error) {
+	var ts promSeries
+	for len(b) > 0 {
+		field, wire, rest, err := protoReadKey(b)
+		if err != nil {
+			return ts, err
+		}
+		b = rest
+		if wire != 2 {
+			return ts, fmt.Errorf("proto: unexpected TimeSeries wire type %d", wire)
+		}
+		msg, rest, err := protoReadBytes(b)
+		if err != nil {
+			return ts, err
+		}
+		b = rest
+		switch field {
+		case 1:
+			name, value, err := parseLabel(msg)
+			if err != nil {
+				return ts, err
+			}
+			ts.labels = append(ts.labels, [2]string{name, value})
+		case 2:
+			s, err := parseSample(msg)
+			if err != nil {
+				return ts, err
+			}
+			ts.samples = append(ts.samples, s)
+		default:
+			return ts, fmt.Errorf("proto: unexpected TimeSeries field %d", field)
+		}
+	}
+	return ts, nil
+}
+
+func parseLabel(b []byte) (name, value string, err error) {
+	for len(b) > 0 {
+		field, wire, rest, err := protoReadKey(b)
+		if err != nil {
+			return "", "", err
+		}
+		b = rest
+		if wire != 2 {
+			return "", "", fmt.Errorf("proto: unexpected Label wire type %d", wire)
+		}
+		s, rest, err := protoReadBytes(b)
+		if err != nil {
+			return "", "", err
+		}
+		b = rest
+		switch field {
+		case 1:
+			name = string(s)
+		case 2:
+			value = string(s)
+		default:
+			return "", "", fmt.Errorf("proto: unexpected Label field %d", field)
+		}
+	}
+	return name, value, nil
+}
+
+func parseSample(b []byte) (promSample, error) {
+	var s promSample
+	for len(b) > 0 {
+		field, wire, rest, err := protoReadKey(b)
+		if err != nil {
+			return s, err
+		}
+		b = rest
+		switch {
+		case field == 1 && wire == 1:
+			if len(b) < 8 {
+				return s, fmt.Errorf("proto: truncated double")
+			}
+			s.value = math.Float64frombits(binary.LittleEndian.Uint64(b))
+			b = b[8:]
+		case field == 2 && wire == 0:
+			v, n := binary.Uvarint(b)
+			if n <= 0 {
+				return s, fmt.Errorf("proto: bad timestamp varint")
+			}
+			s.ms = int64(v)
+			b = b[n:]
+		default:
+			return s, fmt.Errorf("proto: unexpected Sample field %d/wire %d", field, wire)
+		}
+	}
+	return s, nil
+}
+
+func protoReadKey(b []byte) (field, wire int, rest []byte, err error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("proto: bad field key")
+	}
+	return int(v >> 3), int(v & 7), b[n:], nil
+}
+
+func protoReadBytes(b []byte) (msg, rest []byte, err error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return nil, nil, fmt.Errorf("proto: bad length-delimited field")
+	}
+	return b[n : n+int(l)], b[n+int(l):], nil
+}
+
+// influxPoint is one decoded line-protocol line.
+type influxPoint struct {
+	measurement string
+	tags        map[string]string
+	fields      map[string]float64
+	ms          int64
+}
+
+// parseInflux splits a line-protocol body.
+func parseInflux(body string) ([]influxPoint, error) {
+	var out []influxPoint
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		parts := strings.Split(line, " ")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("influx: line %q has %d segments, want 3", line, len(parts))
+		}
+		p := influxPoint{tags: map[string]string{}, fields: map[string]float64{}}
+		head := strings.Split(parts[0], ",")
+		p.measurement = head[0]
+		for _, kv := range head[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("influx: bad tag %q", kv)
+			}
+			p.tags[k] = v
+		}
+		for _, kv := range strings.Split(parts[1], ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("influx: bad field %q", kv)
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("influx: field %q: %w", kv, err)
+			}
+			p.fields[k] = f
+		}
+		ms, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("influx: timestamp %q: %w", parts[2], err)
+		}
+		p.ms = ms
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// otlpRequest mirrors the OTLP/HTTP JSON metrics request shape.
+type otlpRequest struct {
+	ResourceMetrics []struct {
+		Resource struct {
+			Attributes []otlpAttr `json:"attributes"`
+		} `json:"resource"`
+		ScopeMetrics []struct {
+			Scope struct {
+				Name string `json:"name"`
+			} `json:"scope"`
+			Metrics []struct {
+				Name  string `json:"name"`
+				Gauge struct {
+					DataPoints []struct {
+						TimeUnixNano string     `json:"timeUnixNano"`
+						AsDouble     float64    `json:"asDouble"`
+						Attributes   []otlpAttr `json:"attributes"`
+					} `json:"dataPoints"`
+				} `json:"gauge"`
+			} `json:"metrics"`
+		} `json:"scopeMetrics"`
+	} `json:"resourceMetrics"`
+}
+
+// unmarshalOTLP strictly decodes an OTLP/HTTP JSON metrics body.
+func unmarshalOTLP(body []byte) (*otlpRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req otlpRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("otlp: %w", err)
+	}
+	return &req, nil
+}
+
+type otlpAttr struct {
+	Key   string `json:"key"`
+	Value struct {
+		StringValue string `json:"stringValue"`
+	} `json:"value"`
+}
+
+func otlpAttrValue(attrs []otlpAttr, key string) string {
+	for _, a := range attrs {
+		if a.Key == key {
+			return a.Value.StringValue
+		}
+	}
+	return ""
+}
+
+// expectedSample is the format-independent shape an exported record
+// must decode back to, one per schema field per record.
+type expectedSample struct {
+	metricIdx int // index into fieldDefs
+	rnti      string
+	dir       string
+	value     float64
+	ms        int64
+}
+
+// expectedSamples expands records through the shared schema.
+func expectedSamples(recs []telemetry.Record, baseMs int64) []expectedSample {
+	var out []expectedSample
+	for i := range recs {
+		r := &recs[i]
+		for fi := range fieldDefs {
+			out = append(out, expectedSample{
+				metricIdx: fi,
+				rnti:      string(appendRNTI(nil, r.RNTI)),
+				dir:       dirString(r),
+				value:     fieldDefs[fi].get(r),
+				ms:        recordMs(baseMs, r),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package pump
+
+import (
+	"strconv"
+
+	"nrscope/internal/telemetry"
+)
+
+// Influx encodes records as InfluxDB line protocol, one line per
+// record:
+//
+//	nrscope_dci,dir=dl,rnti=0x4601 tbs_bits=5640,prbs=24,mcs=12,retx=0 1723113600123
+//
+// Tags are emitted in sorted order (Influx's write-path fast path) and
+// timestamps are milliseconds — the sink's URL carries precision=ms.
+type Influx struct {
+	// Measurement overrides the line measurement name (default
+	// "nrscope_dci").
+	Measurement string
+	// BaseMs is the Unix-ms epoch added to each record's
+	// capture-relative TMs.
+	BaseMs int64
+
+	buf []byte
+	n   int
+}
+
+// Kind implements Encoder.
+func (e *Influx) Kind() string { return "influx" }
+
+// ContentType implements Encoder.
+func (e *Influx) ContentType() string { return "text/plain; charset=utf-8" }
+
+// ContentEncoding implements Encoder.
+func (e *Influx) ContentEncoding() string { return "" }
+
+// Reset implements Encoder.
+func (e *Influx) Reset() {
+	e.buf = e.buf[:0]
+	e.n = 0
+}
+
+// Records implements Encoder.
+func (e *Influx) Records() int { return e.n }
+
+// Len implements Encoder.
+func (e *Influx) Len() int { return len(e.buf) }
+
+// Append implements Encoder.
+func (e *Influx) Append(r *telemetry.Record) {
+	m := e.Measurement
+	if m == "" {
+		m = "nrscope_dci"
+	}
+	e.buf = append(e.buf, m...)
+	e.buf = append(e.buf, ",dir="...)
+	e.buf = append(e.buf, dirString(r)...)
+	e.buf = append(e.buf, ",rnti="...)
+	e.buf = appendRNTI(e.buf, r.RNTI)
+	e.buf = append(e.buf, ' ')
+	for i := range fieldDefs {
+		f := &fieldDefs[i]
+		if i > 0 {
+			e.buf = append(e.buf, ',')
+		}
+		e.buf = append(e.buf, f.influx...)
+		e.buf = append(e.buf, '=')
+		e.buf = strconv.AppendFloat(e.buf, f.get(r), 'g', -1, 64)
+	}
+	e.buf = append(e.buf, ' ')
+	e.buf = strconv.AppendInt(e.buf, recordMs(e.BaseMs, r), 10)
+	e.buf = append(e.buf, '\n')
+	e.n++
+}
+
+// Frame implements Encoder.
+func (e *Influx) Frame() []byte { return e.buf }

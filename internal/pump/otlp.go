@@ -1,0 +1,105 @@
+package pump
+
+import (
+	"strconv"
+
+	"nrscope/internal/telemetry"
+)
+
+// OTLP encodes records as an OTLP/HTTP JSON ExportMetricsServiceRequest
+// (proto3 JSON mapping: int64s as strings, lowerCamelCase keys): one
+// gauge metric per schema field, whose dataPoints accumulate across the
+// appended records. Append streams each record's points into per-metric
+// buffers; Frame stitches the envelope around them, so both stay
+// allocation-free once the buffers are warm.
+type OTLP struct {
+	// BaseMs is the Unix-ms epoch added to each record's
+	// capture-relative TMs.
+	BaseMs int64
+
+	points [len(fieldDefs)][]byte // dataPoint JSON fragments per metric
+	size   int                    // total pending fragment bytes
+	out    []byte                 // assembled request body
+	n      int
+}
+
+const (
+	otlpHead = `{"resourceMetrics":[{"resource":{"attributes":[` +
+		`{"key":"service.name","value":{"stringValue":"nrscope"}}]},` +
+		`"scopeMetrics":[{"scope":{"name":"nrscope"},"metrics":[`
+	otlpTail = `]}]}]}`
+)
+
+// Kind implements Encoder.
+func (e *OTLP) Kind() string { return "otlp" }
+
+// ContentType implements Encoder.
+func (e *OTLP) ContentType() string { return "application/json" }
+
+// ContentEncoding implements Encoder.
+func (e *OTLP) ContentEncoding() string { return "" }
+
+// Reset implements Encoder.
+func (e *OTLP) Reset() {
+	for i := range e.points {
+		e.points[i] = e.points[i][:0]
+	}
+	e.size = 0
+	e.n = 0
+}
+
+// Records implements Encoder.
+func (e *OTLP) Records() int { return e.n }
+
+// Len implements Encoder: pending fragments plus the fixed envelope.
+func (e *OTLP) Len() int {
+	overhead := len(otlpHead) + len(otlpTail)
+	for i := range fieldDefs {
+		overhead += len(fieldDefs[i].otlp) + 40 // per-metric envelope
+	}
+	return e.size + overhead
+}
+
+// Append implements Encoder.
+func (e *OTLP) Append(r *telemetry.Record) {
+	ns := recordMs(e.BaseMs, r) * 1e6
+	dir := dirString(r)
+	for i := range fieldDefs {
+		f := &fieldDefs[i]
+		p := e.points[i]
+		before := len(p)
+		if before > 0 {
+			p = append(p, ',')
+		}
+		p = append(p, `{"timeUnixNano":"`...)
+		p = strconv.AppendInt(p, ns, 10)
+		p = append(p, `","asDouble":`...)
+		p = strconv.AppendFloat(p, f.get(r), 'g', -1, 64)
+		p = append(p, `,"attributes":[{"key":"dir","value":{"stringValue":"`...)
+		p = append(p, dir...)
+		p = append(p, `"}},{"key":"rnti","value":{"stringValue":"`...)
+		p = appendRNTI(p, r.RNTI)
+		p = append(p, `"}}]}`...)
+		e.size += len(p) - before
+		e.points[i] = p
+	}
+	e.n++
+}
+
+// Frame implements Encoder.
+func (e *OTLP) Frame() []byte {
+	out := append(e.out[:0], otlpHead...)
+	for i := range fieldDefs {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, `{"name":"`...)
+		out = append(out, fieldDefs[i].otlp...)
+		out = append(out, `","gauge":{"dataPoints":[`...)
+		out = append(out, e.points[i]...)
+		out = append(out, `]}}`...)
+	}
+	out = append(out, otlpTail...)
+	e.out = out
+	return e.out
+}

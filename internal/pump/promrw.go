@@ -1,0 +1,159 @@
+package pump
+
+import (
+	"math"
+
+	"nrscope/internal/telemetry"
+)
+
+// PromRW encodes records as a Prometheus remote-write WriteRequest:
+// hand-rolled protobuf wire encoding (the message is four nested types
+// deep but every field is tag+varint or tag+len — no generator needed)
+// snappy-framed in block format with all-literal chunks. All-literal
+// snappy is spec-valid output any receiver's decoder accepts; it trades
+// compression for a dependency-free, zero-allocation encode path.
+//
+// Each record becomes one TimeSeries per schema field, labels sorted as
+// the remote-write spec requires (__name__ < dir < rnti), holding one
+// sample at the record's wall-clock ms.
+type PromRW struct {
+	// BaseMs is the Unix-ms epoch added to each record's
+	// capture-relative TMs.
+	BaseMs int64
+
+	buf []byte // pending WriteRequest message (pre-snappy)
+	ts  []byte // scratch: one TimeSeries message
+	lbl []byte // scratch: one Label message
+	smp []byte // scratch: one Sample message
+	val []byte // scratch: one label value (rnti rendering)
+	out []byte // snappy-framed request body
+	n   int
+}
+
+// Proto field numbers from prometheus/prompb.WriteRequest:
+//
+//	WriteRequest{ repeated TimeSeries timeseries = 1 }
+//	TimeSeries{ repeated Label labels = 1; repeated Sample samples = 2 }
+//	Label{ string name = 1; string value = 2 }
+//	Sample{ double value = 1; int64 timestamp = 2 }
+
+// Kind implements Encoder.
+func (e *PromRW) Kind() string { return "promrw" }
+
+// ContentType implements Encoder.
+func (e *PromRW) ContentType() string { return "application/x-protobuf" }
+
+// ContentEncoding implements Encoder.
+func (e *PromRW) ContentEncoding() string { return "snappy" }
+
+// Reset implements Encoder.
+func (e *PromRW) Reset() {
+	e.buf = e.buf[:0]
+	e.n = 0
+}
+
+// Records implements Encoder.
+func (e *PromRW) Records() int { return e.n }
+
+// Len implements Encoder: the pre-snappy WriteRequest size.
+func (e *PromRW) Len() int { return len(e.buf) }
+
+// Append implements Encoder: one TimeSeries per schema field.
+func (e *PromRW) Append(r *telemetry.Record) {
+	ms := recordMs(e.BaseMs, r)
+	dir := dirString(r)
+	e.val = appendRNTI(e.val[:0], r.RNTI)
+	for i := range fieldDefs {
+		f := &fieldDefs[i]
+		e.ts = e.ts[:0]
+		e.ts = e.appendLabel(e.ts, "__name__", f.prom)
+		e.ts = e.appendLabel(e.ts, "dir", dir)
+		e.ts = e.appendLabelBytes(e.ts, "rnti", e.val)
+		e.smp = protoKey(e.smp[:0], 1, 1) // value: double, fixed64
+		e.smp = appendFixed64(e.smp, math.Float64bits(f.get(r)))
+		e.smp = protoKey(e.smp, 2, 0) // timestamp: int64 varint
+		e.smp = appendUvarint(e.smp, uint64(ms))
+		e.ts = protoBytes(e.ts, 2, e.smp)
+		e.buf = protoBytes(e.buf, 1, e.ts)
+	}
+	e.n++
+}
+
+// Frame implements Encoder: snappy block-format framing of the pending
+// WriteRequest.
+func (e *PromRW) Frame() []byte {
+	e.out = appendSnappy(e.out[:0], e.buf)
+	return e.out
+}
+
+// appendLabel appends one Label{name, value} as a length-delimited
+// field 1 of a TimeSeries.
+func (e *PromRW) appendLabel(dst []byte, name, value string) []byte {
+	e.lbl = protoString(e.lbl[:0], 1, name)
+	e.lbl = protoString(e.lbl, 2, value)
+	return protoBytes(dst, 1, e.lbl)
+}
+
+// appendLabelBytes is appendLabel for a non-constant value rendered
+// into a scratch buffer.
+func (e *PromRW) appendLabelBytes(dst []byte, name string, value []byte) []byte {
+	e.lbl = protoString(e.lbl[:0], 1, name)
+	e.lbl = protoKey(e.lbl, 2, 2)
+	e.lbl = appendUvarint(e.lbl, uint64(len(value)))
+	e.lbl = append(e.lbl, value...)
+	return protoBytes(dst, 1, e.lbl)
+}
+
+// protoKey appends a field key (field number + wire type).
+func protoKey(dst []byte, field, wire int) []byte {
+	return appendUvarint(dst, uint64(field)<<3|uint64(wire))
+}
+
+// protoBytes appends a length-delimited field holding msg.
+func protoBytes(dst []byte, field int, msg []byte) []byte {
+	dst = protoKey(dst, field, 2)
+	dst = appendUvarint(dst, uint64(len(msg)))
+	return append(dst, msg...)
+}
+
+// protoString appends a length-delimited string field.
+func protoString(dst []byte, field int, s string) []byte {
+	dst = protoKey(dst, field, 2)
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendFixed64 appends v little-endian (proto wire type 1).
+func appendFixed64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// snappyMaxLiteral caps literal chunks so their length always fits the
+// 1- or 2-byte tag extensions.
+const snappyMaxLiteral = 1 << 16
+
+// appendSnappy frames src in snappy block format using only literal
+// chunks: the uncompressed-length preamble varint, then literals of up
+// to 64 KiB each. Spec-valid for any snappy decoder, no compression.
+func appendSnappy(dst, src []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(src)))
+	for len(src) > 0 {
+		n := len(src)
+		if n > snappyMaxLiteral {
+			n = snappyMaxLiteral
+		}
+		switch {
+		case n <= 60:
+			dst = append(dst, byte(n-1)<<2)
+		case n-1 < 1<<8:
+			dst = append(dst, 60<<2, byte(n-1))
+		default:
+			dst = append(dst, 61<<2, byte(n-1), byte((n-1)>>8))
+		}
+		dst = append(dst, src[:n]...)
+		src = src[n:]
+	}
+	return dst
+}

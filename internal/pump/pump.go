@@ -1,0 +1,185 @@
+package pump
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"nrscope/internal/telemetry"
+)
+
+// Config shapes one pump sink.
+type Config struct {
+	// Name keys the pump's nrscope_pump_<name>_* instruments (default:
+	// the encoder's Kind). Same-named pumps share instruments.
+	Name string
+	// URL is the POST target.
+	URL string
+	// Encoder is the wire format. Required; owned by this sink.
+	Encoder Encoder
+	// Header holds extra request headers (auth, remote-write version).
+	Header http.Header
+	// Timeout bounds each HTTP request (default 10 s). Ignored when
+	// Client is provided.
+	Timeout time.Duration
+	// MaxFrameBytes splits a batch into multiple frames once the
+	// pending body reaches this size (default 4 MiB).
+	MaxFrameBytes int
+	// Client overrides the HTTP client (tests, shared pools).
+	Client *http.Client
+}
+
+// Sink is a batching HTTP exporter implementing the bus Sink contract:
+// WriteBatch encodes the batch through the Encoder and POSTs one or
+// more frames; any HTTP failure is returned to the bus runner, whose
+// retry/backoff/quarantine machinery owns the recovery policy.
+//
+// Accounting: records_sent counts each record exactly once, committed
+// only when its whole WriteBatch succeeded — a mid-batch frame failure
+// makes the runner retry the batch, re-sending earlier frames (frames/
+// bytes count that wire activity) without double-counting records.
+// With CountDrops wired to bus.WithDropNotify, sent + dropped equals
+// the records published to the subscription once the bus has drained.
+type Sink struct {
+	name     string
+	url      string
+	enc      Encoder
+	header   http.Header
+	client   *http.Client
+	owned    bool // we built the client: close its idle conns on Close
+	maxFrame int
+	met      *pumpMetrics
+}
+
+// New builds a pump sink. The encoder must not be shared with another
+// sink: WriteBatch reuses its buffers from the bus runner goroutine.
+func New(cfg Config) (*Sink, error) {
+	if cfg.Encoder == nil {
+		return nil, fmt.Errorf("pump: config needs an Encoder")
+	}
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("pump: config needs a URL")
+	}
+	name := cfg.Name
+	if name == "" {
+		name = cfg.Encoder.Kind()
+	}
+	s := &Sink{
+		name:     name,
+		url:      cfg.URL,
+		enc:      cfg.Encoder,
+		header:   cfg.Header,
+		client:   cfg.Client,
+		maxFrame: cfg.MaxFrameBytes,
+		met:      metricsFor(name),
+	}
+	if s.maxFrame <= 0 {
+		s.maxFrame = 4 << 20
+	}
+	if s.client == nil {
+		timeout := cfg.Timeout
+		if timeout <= 0 {
+			timeout = 10 * time.Second
+		}
+		s.client = &http.Client{Timeout: timeout}
+		s.owned = true
+	}
+	return s, nil
+}
+
+// Name returns the pump's metric key.
+func (s *Sink) Name() string { return s.name }
+
+// URL returns the POST target.
+func (s *Sink) URL() string { return s.url }
+
+// WriteBatch implements the bus Sink contract: encode, split at
+// MaxFrameBytes, POST. Called from the subscription's runner goroutine
+// only.
+func (s *Sink) WriteBatch(recs []telemetry.Record) error {
+	enc := s.enc
+	enc.Reset()
+	sent := 0
+	for i := range recs {
+		enc.Append(&recs[i])
+		if enc.Len() >= s.maxFrame {
+			n := enc.Records()
+			if err := s.send(enc); err != nil {
+				return err
+			}
+			sent += n
+			enc.Reset()
+		}
+	}
+	if enc.Records() > 0 {
+		n := enc.Records()
+		if err := s.send(enc); err != nil {
+			return err
+		}
+		sent += n
+	}
+	s.met.records.Add(int64(sent))
+	return nil
+}
+
+// send POSTs one frame and classifies the outcome.
+func (s *Sink) send(enc Encoder) error {
+	body := enc.Frame()
+	req, err := http.NewRequest(http.MethodPost, s.url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("pump %s: %w", s.name, err)
+	}
+	req.Header.Set("Content-Type", enc.ContentType())
+	if ce := enc.ContentEncoding(); ce != "" {
+		req.Header.Set("Content-Encoding", ce)
+	}
+	req.Header.Set("User-Agent", "nrscope-pump/"+enc.Kind())
+	for k, vs := range s.header {
+		req.Header[k] = vs
+	}
+	start := time.Now()
+	resp, err := s.client.Do(req)
+	if err != nil {
+		s.met.netErrors.Inc()
+		return fmt.Errorf("pump %s: %w", s.name, err)
+	}
+	// Drain a bounded slice of the response so the connection is
+	// reusable, whatever the backend chats back.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		if resp.StatusCode >= 500 {
+			s.met.err5xx.Inc()
+		} else {
+			s.met.err4xx.Inc()
+		}
+		return fmt.Errorf("pump %s: %s responded %s", s.name, s.url, resp.Status)
+	}
+	s.met.frames.Inc()
+	s.met.bytes.Add(int64(len(body)))
+	s.met.send.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// CountDrops records n dropped records against the pump; wire it to the
+// subscription via bus.WithDropNotify(sink.CountDrops) so the pump's
+// sent + dropped accounting closes against the bus's published count.
+func (s *Sink) CountDrops(n int) {
+	s.met.dropped.Add(int64(n))
+}
+
+// Sent reports records successfully exported (exactly-once per record).
+func (s *Sink) Sent() int64 { return s.met.records.Value() }
+
+// Dropped reports records dropped towards this pump (via CountDrops).
+func (s *Sink) Dropped() int64 { return s.met.dropped.Value() }
+
+// Close implements the bus Sink contract.
+func (s *Sink) Close() error {
+	if s.owned {
+		s.client.CloseIdleConnections()
+	}
+	return nil
+}
