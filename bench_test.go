@@ -101,6 +101,40 @@ func BenchmarkSlotLoop64UEs4Threads(b *testing.B) {
 	benchSlotLoop(b, 64, core.WithDCIThreads(4))
 }
 
+// BenchmarkUplinkSlotLoop16UEs measures steady-state uplink UCI
+// processing — one pucch.Decode energy gate (and, for active resources,
+// a full demap/descramble/Viterbi/CRC pass) per tracked RNTI per slot.
+func BenchmarkUplinkSlotLoop16UEs(b *testing.B) {
+	cfg := ran.AmarisoftCell()
+	cfg.Seed = 79
+	gnb, err := ran.NewGNB(cfg, 1<<21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := func(rnti uint16, seed int64) (traffic.Generator, traffic.Generator, *channel.Channel) {
+		return traffic.NewVideo(30, 15000, 0.2, cfg.TTI(), seed),
+			traffic.NewCBR(200e3, cfg.TTI()),
+			channel.New(channel.Normal, cfg.BaseSNRdB, seed)
+	}
+	for i := 0; i < 16; i++ {
+		gnb.AddUE(factory, -1)
+	}
+	rx := radio.NewReceiver(channel.Normal, 22, 5).Reuse(true)
+	ulRX := radio.NewReceiver(channel.Normal, 22, 1301).Reuse(true)
+	scope := core.New(cfg.CellID)
+	for i := 0; i < 1500; i++ { // RACH + discovery settle
+		out := gnb.Step()
+		scope.ProcessSlot(rx.Capture(out.SlotIdx, out.Ref, out.Grid))
+		scope.ProcessUplinkSlot(ulRX.Capture(out.SlotIdx, out.Ref, out.ULGrid))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := gnb.Step()
+		scope.ProcessUplinkSlot(ulRX.Capture(out.SlotIdx, out.Ref, out.ULGrid))
+	}
+}
+
 // --- ablations (DESIGN.md §5) ---
 
 // BenchmarkAblationRRCSetupSkip compares admitting new UEs with full

@@ -130,13 +130,28 @@ func (r *Reader) Err() error { return r.err }
 // Pack converts an unpacked bit slice (MSB-first) into bytes. The final
 // byte is zero-padded on the right if len(b) is not a multiple of 8.
 func Pack(b []uint8) []byte {
-	out := make([]byte, (len(b)+7)/8)
-	for i, bit := range b {
-		if bit != 0 {
-			out[i/8] |= 0x80 >> uint(i%8)
+	return AppendPacked(make([]byte, 0, (len(b)+7)/8), b)
+}
+
+// AppendPacked appends the packed form of b (MSB-first, final byte
+// right-padded with zeros) to dst and returns the extended slice, so
+// hot paths can pack into reused buffers without allocating.
+func AppendPacked(dst []byte, b []uint8) []byte {
+	for len(b) > 0 {
+		n := len(b)
+		if n > 8 {
+			n = 8
 		}
+		var cur byte
+		for i, bit := range b[:n] {
+			if bit != 0 {
+				cur |= 0x80 >> uint(i)
+			}
+		}
+		dst = append(dst, cur)
+		b = b[n:]
 	}
-	return out
+	return dst
 }
 
 // Unpack converts bytes into an unpacked bit slice of exactly n bits,

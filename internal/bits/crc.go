@@ -99,17 +99,29 @@ func AttachCRC(k CRCKind, data []uint8) []uint8 {
 
 // CheckCRC verifies that the trailing k.Len() bits of block are the CRC of
 // the preceding bits. It returns the payload (aliasing block) and whether
-// the check passed.
+// the check passed. It allocates nothing: the CRC register bits are
+// compared against the trailing bits directly, so per-slot decode paths
+// (PDSCH transport blocks, PUCCH UCI) can run one check per candidate
+// without heap traffic.
 func CheckCRC(k CRCKind, block []uint8) (payload []uint8, ok bool) {
 	n := k.Len()
 	if len(block) < n {
 		return nil, false
 	}
 	payload = block[:len(block)-n]
-	want := CRC(k, payload)
+	poly := k.poly()
+	mask := uint32(1)<<uint(n) - 1
+	var reg uint32
+	for _, b := range payload {
+		fb := (reg>>uint(n-1))&1 ^ uint32(b&1)
+		reg = (reg << 1) & mask
+		if fb != 0 {
+			reg ^= poly & mask
+		}
+	}
 	got := block[len(block)-n:]
-	for i := range want {
-		if want[i] != got[i] {
+	for i := 0; i < n; i++ {
+		if uint8(reg>>uint(n-1-i))&1 != got[i]&1 {
 			return payload, false
 		}
 	}

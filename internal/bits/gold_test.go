@@ -1,0 +1,158 @@
+package bits
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nrscope/internal/raceflag"
+)
+
+// goldSequenceRefInto is the original buffer-based Gold generator,
+// retained as the reference the register/jump-matrix implementation must
+// match bit for bit.
+func goldSequenceRefInto(cinit uint32, dst []uint8) {
+	n := len(dst)
+	total := goldNc + n + 31
+	x1 := make([]uint8, total)
+	x2 := make([]uint8, total)
+	x1[0] = 1
+	for i := 0; i < 31; i++ {
+		x2[i] = uint8(cinit>>uint(i)) & 1
+	}
+	for i := 0; i+31 < total; i++ {
+		x1[i+31] = x1[i+3] ^ x1[i]
+		x2[i+31] = x2[i+3] ^ x2[i+2] ^ x2[i+1] ^ x2[i]
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = x1[i+goldNc] ^ x2[i+goldNc]
+	}
+}
+
+// TestGoldSequenceMatchesReference: the LFSR-register generator with the
+// precomputed Nc jump must reproduce the buffer-based reference for a
+// spread of cinit values (including 0 and the full 31-bit mask) and
+// lengths around typical scrambling spans.
+func TestGoldSequenceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cinits := []uint32{0, 1, 0x12345, 0x5A5A5, 0x7FFFFFFF}
+	for i := 0; i < 20; i++ {
+		cinits = append(cinits, rng.Uint32()&0x7FFFFFFF)
+	}
+	for _, cinit := range cinits {
+		for _, n := range []int{1, 31, 32, 100, 864} {
+			got := make([]uint8, n)
+			want := make([]uint8, n)
+			GoldSequenceInto(cinit, got)
+			goldSequenceRefInto(cinit, want)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("cinit %#x n %d: bit %d = %d, reference %d",
+						cinit, n, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestGoldSequenceZeroAlloc: the generator and in-place scrambler must be
+// allocation free (they run per candidate per slot).
+func TestGoldSequenceZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	dst := make([]uint8, 864)
+	if n := testing.AllocsPerRun(100, func() {
+		GoldSequenceInto(0x12345, dst)
+	}); n != 0 {
+		t.Errorf("GoldSequenceInto: %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		ScrambleInPlace(0x12345, dst)
+	}); n != 0 {
+		t.Errorf("ScrambleInPlace: %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestDescrambleLLRInPlace: sign flips exactly where the sequence bit is
+// 1, preserving magnitude, and handling non-finite values and zero length.
+func TestDescrambleLLRInPlace(t *testing.T) {
+	seq := []uint8{0, 1, 1, 0, 1, 0, 1}
+	llr := []float64{1.5, -2.25, 0, -0.0, math.Inf(1), math.NaN(), -3}
+	orig := append([]float64(nil), llr...)
+	DescrambleLLRInPlace(seq, llr)
+	for i := range llr {
+		want := orig[i]
+		if seq[i] == 1 {
+			want = -want
+		}
+		if math.IsNaN(want) {
+			if !math.IsNaN(llr[i]) {
+				t.Fatalf("llr[%d] = %v, want NaN", i, llr[i])
+			}
+			continue
+		}
+		// Compare bit patterns so ±0 flips are observed too.
+		if math.Float64bits(llr[i]) != math.Float64bits(want) {
+			t.Fatalf("llr[%d] = %v (bits %#x), want %v", i, llr[i], math.Float64bits(llr[i]), want)
+		}
+	}
+	DescrambleLLRInPlace(nil, nil) // must not panic
+	if raceflag.Enabled {
+		return
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		DescrambleLLRInPlace(seq, llr)
+	}); n != 0 {
+		t.Errorf("DescrambleLLRInPlace: %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestAppendPacked: AppendPacked must agree with Pack and reuse capacity.
+func TestAppendPacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{0, 1, 7, 8, 9, 31, 64, 101} {
+		b := make([]uint8, n)
+		for i := range b {
+			b[i] = uint8(rng.Intn(2))
+		}
+		want := Pack(b)
+		got := AppendPacked(nil, b)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: len %d, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: byte %d = %#x, want %#x", n, i, got[i], want[i])
+			}
+		}
+	}
+	buf := make([]byte, 0, 16)
+	b := []uint8{1, 0, 1, 1, 0, 0, 1, 0, 1}
+	if raceflag.Enabled {
+		return
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		buf = AppendPacked(buf[:0], b)
+	}); n != 0 {
+		t.Errorf("AppendPacked into reused buffer: %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestCheckCRCZeroAlloc: CheckCRC runs per decode candidate and must not
+// allocate.
+func TestCheckCRCZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	payload := []uint8{1, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0}
+	block := AttachCRC(CRC24A, payload)
+	if _, ok := CheckCRC(CRC24A, block); !ok {
+		t.Fatal("CheckCRC rejected a valid block")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		CheckCRC(CRC24A, block)
+	}); n != 0 {
+		t.Errorf("CheckCRC: %.1f allocs/op, want 0", n)
+	}
+}

@@ -119,24 +119,43 @@ func RateRecover(llr []float64, n int) []float64 {
 	return out
 }
 
+// Workspace holds the Viterbi decoder's trellis scratch (path metrics,
+// survivor history, rate-recovery buffer, traceback output) so repeated
+// decodes allocate nothing once the buffers have grown to the largest
+// block seen. A Workspace is not safe for concurrent use; per-slot decode
+// paths keep one in their pooled scratch.
+type Workspace struct {
+	recovered []float64
+	metric    [numStates]float64
+	next      [numStates]float64
+	survivors [][numStates]uint8
+	prevOf    [][numStates]uint8
+	out       []uint8
+}
+
 // Decode runs soft-decision Viterbi decoding over coded-bit LLRs
 // (positive = bit 0 likelier). len(llr) must equal CodedLen(k) for the
 // original info length k, which the caller supplies. It returns the k
-// decoded information bits.
-func Decode(llr []float64, k int) []uint8 {
+// decoded information bits. The returned slice aliases the workspace and
+// is only valid until the next Decode/RecoverAndDecode call.
+func (w *Workspace) Decode(llr []float64, k int) []uint8 {
 	steps := k + memory
 	if len(llr) != steps*rateInv {
 		panic(fmt.Sprintf("convcode: got %d LLRs for k = %d (want %d)", len(llr), k, steps*rateInv))
 	}
 	const inf = 1e300
-	metric := make([]float64, numStates)
-	next := make([]float64, numStates)
+	if cap(w.survivors) < steps {
+		w.survivors = make([][numStates]uint8, steps)
+		w.prevOf = make([][numStates]uint8, steps)
+	}
+	// survivors[t][s] is the input bit that led into state s at step t.
+	survivors := w.survivors[:steps]
+	prevOf := w.prevOf[:steps]
+	metric, next := &w.metric, &w.next
+	metric[0] = 0
 	for s := 1; s < numStates; s++ {
 		metric[s] = -inf // trellis starts in state 0
 	}
-	// survivors[t][s] is the input bit that led into state s at step t.
-	survivors := make([][numStates]uint8, steps)
-	prevOf := make([][numStates]uint8, steps)
 
 	for t := 0; t < steps; t++ {
 		for s := range next {
@@ -145,34 +164,31 @@ func Decode(llr []float64, k int) []uint8 {
 		l0 := llr[t*rateInv]
 		l1 := llr[t*rateInv+1]
 		l2 := llr[t*rateInv+2]
+		// Branch metrics by 3-bit output pattern: +LLR when the output
+		// bit is 0. Hoisting the eight sums out of the state loop turns
+		// the 128 transition updates into one add and one compare each.
+		var bm [8]float64
+		bm[0b000] = l0 + l1 + l2
+		bm[0b001] = l0 + l1 - l2
+		bm[0b010] = l0 - l1 + l2
+		bm[0b011] = l0 - l1 - l2
+		bm[0b100] = -l0 + l1 + l2
+		bm[0b101] = -l0 + l1 - l2
+		bm[0b110] = -l0 - l1 + l2
+		bm[0b111] = -l0 - l1 - l2
+		surv := &survivors[t]
+		prev := &prevOf[t]
 		for s := 0; s < numStates; s++ {
 			if metric[s] == -inf {
 				continue
 			}
 			for in := uint8(0); in < 2; in++ {
-				o := outputTable[s][in]
-				// Branch metric: +LLR when the output bit is 0.
-				m := metric[s]
-				if o>>2&1 == 0 {
-					m += l0
-				} else {
-					m -= l0
-				}
-				if o>>1&1 == 0 {
-					m += l1
-				} else {
-					m -= l1
-				}
-				if o&1 == 0 {
-					m += l2
-				} else {
-					m -= l2
-				}
+				m := metric[s] + bm[outputTable[s][in]]
 				ns := nextState[s][in]
 				if m > next[ns] {
 					next[ns] = m
-					survivors[t][ns] = in
-					prevOf[t][ns] = uint8(s)
+					surv[ns] = in
+					prev[ns] = uint8(s)
 				}
 			}
 		}
@@ -180,13 +196,48 @@ func Decode(llr []float64, k int) []uint8 {
 	}
 
 	// Trace back from state 0 (zero-tailed).
-	out := make([]uint8, steps)
+	if cap(w.out) < steps {
+		w.out = make([]uint8, steps)
+	}
+	out := w.out[:steps]
 	state := uint8(0)
 	for t := steps - 1; t >= 0; t-- {
 		out[t] = survivors[t][state]
 		state = prevOf[t][state]
 	}
 	return out[:k]
+}
+
+// RecoverAndDecode rate-recovers e channel LLRs for an original info
+// length k and Viterbi-decodes, reusing the workspace buffers. The
+// returned slice aliases the workspace (see Decode).
+func (w *Workspace) RecoverAndDecode(llr []float64, k int) []uint8 {
+	n := CodedLen(k)
+	if cap(w.recovered) < n {
+		w.recovered = make([]float64, n)
+	}
+	rec := w.recovered[:n]
+	for i := range rec {
+		rec[i] = 0
+	}
+	e := len(llr)
+	if e >= n {
+		for i, v := range llr {
+			rec[i%n] += v
+		}
+	} else {
+		for i := 0; i < e; i++ {
+			rec[i*n/e] += llr[i]
+		}
+	}
+	return w.Decode(rec, k)
+}
+
+// Decode runs soft-decision Viterbi decoding over coded-bit LLRs with a
+// throwaway workspace; see Workspace.Decode. Hot paths should hold a
+// Workspace instead.
+func Decode(llr []float64, k int) []uint8 {
+	return new(Workspace).Decode(llr, k)
 }
 
 // EncodeAndMatch is a convenience that encodes info and rate-matches to e
@@ -196,7 +247,8 @@ func EncodeAndMatch(info []uint8, e int) ([]uint8, error) {
 }
 
 // RecoverAndDecode is the receive-side convenience: rate-recovers e LLRs
-// for an original info length k and Viterbi-decodes.
+// for an original info length k and Viterbi-decodes with a throwaway
+// workspace. Hot paths should hold a Workspace instead.
 func RecoverAndDecode(llr []float64, k int) []uint8 {
-	return Decode(RateRecover(llr, CodedLen(k)), k)
+	return new(Workspace).RecoverAndDecode(llr, k)
 }

@@ -76,6 +76,7 @@ type slotScratch struct {
 	ueClaimed  []bool
 	cssCands   []phy.Candidate
 	cssBlock   []uint8
+	pdschBuf   []byte // SIB1/MSG4 transport-block bytes (pdsch.DecodeInto)
 	arena      posArena
 }
 
@@ -211,7 +212,9 @@ func (s *Scope) decodeCommon(snap *snapshot, cap *radio.Capture, res *decodeResu
 		case rnti == dci.SIRNTI:
 			met.candMatched.Inc()
 			if snap.sib1 == nil && res.sib1 == nil {
-				if data, ok := pdsch.Decode(cap.Grid, grant, s.cellID, cap.N0); ok {
+				data, ok := pdsch.DecodeInto(sc.pdschBuf, cap.Grid, grant, s.cellID, cap.N0)
+				sc.pdschBuf = data
+				if ok {
 					if sib1, err := rrc.DecodeSIB1(data); err == nil {
 						res.sib1 = &sib1
 					}
@@ -228,7 +231,8 @@ func (s *Scope) decodeCommon(snap *snapshot, cap *radio.Capture, res *decodeResu
 			// (paper §3.1.2). Verify via the RRC Setup PDSCH CRC unless
 			// the shortcut is on and the Setup is already known.
 			if snap.setup == nil || snap.verifyMSG4 {
-				data, ok := pdsch.Decode(cap.Grid, grant, s.cellID, cap.N0)
+				data, ok := pdsch.DecodeInto(sc.pdschBuf, cap.Grid, grant, s.cellID, cap.N0)
+				sc.pdschBuf = data
 				if !ok {
 					continue
 				}

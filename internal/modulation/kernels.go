@@ -1,0 +1,298 @@
+// Chunked, branch-free soft-demap kernels.
+//
+// DemapInto splits the symbol stream into fixed-width chunks, deinterleaves
+// each chunk into flat I/Q float64 lanes, and hands the lanes to a
+// per-constellation kernel. The kernels replace the generic level-scan
+// (demapAxis) with closed-form per-axis max-log expressions: for each bit
+// of a Gray-coded PAM axis, the nearest label-0 and label-1 levels are
+// selected through a min-tree over the per-level squared distances — the
+// nested |y|-folding structure of the 38.211 Gray mapping collapses each
+// class to a handful of candidates — so the inner loops are straight-line
+// FMA-shaped code with no per-symbol branching and no [][]uint8 label
+// lookups. Because the kernels compute the very same squared distances the
+// level-scan computes (same level values from the same table, same
+// subtraction/multiplication/division order), their LLRs are bit-identical
+// to the reference scan; the equivalence is enforced by the property tests
+// in kernels_test.go.
+//
+// The kernel table is the backend seam: a future assembly/intrinsics
+// implementation replaces entries at init time (behind a build tag) as
+// long as it stays bit-identical to the reference.
+package modulation
+
+import (
+	"math"
+	"sync"
+)
+
+// ChunkWidth is the number of symbols a demap kernel processes per chunk.
+// Callers that size reusable symbol/LLR scratch can round capacities up to
+// a multiple of ChunkWidth so buffer reuse stays stable across differently
+// sized candidates (see internal/pdcch).
+const ChunkWidth = 64
+
+// MinN0 is the noise-variance floor DemapInto clamps to. The previous
+// 1e-12 floor made the QPSK LLR scale ~4e12, which overflowed downstream
+// branch-metric sums; 1e-6 together with the MaxLLR saturation keeps every
+// LLR, and any bounded sum of LLRs, comfortably finite.
+const MinN0 = 1e-6
+
+// MaxLLR is the saturation magnitude of every demapped LLR. Non-finite
+// intermediate values (from non-finite symbols) are mapped to 0 — an
+// unreadable symbol carries no information either way.
+const MaxLLR = 1e6
+
+// saturate clamps an LLR into [-MaxLLR, MaxLLR], mapping NaN to 0.
+func saturate(v float64) float64 {
+	if v != v { // NaN: no information
+		return 0
+	}
+	return min(MaxLLR, max(-MaxLLR, v))
+}
+
+// demapKernel processes one chunk: re and im are the flat I/Q lanes of
+// len(re) symbols, dst has len(re)*Qm entries, and LLRs are written
+// I-axis bits at even in-symbol offsets, Q-axis at odd (the 38.211
+// interleave). n0 is the pre-clamped noise variance.
+type demapKernel func(dst []float64, re, im []float64, n0 float64)
+
+// demapKernels maps pamBits (1..4) to the active chunk kernel. This
+// indirection is the pluggable backend seam described above.
+var demapKernels = [5]demapKernel{
+	1: demapChunkQPSK,
+	2: demapChunk16,
+	3: demapChunk64,
+	4: demapChunk256,
+}
+
+// chunkLanes is the flat I/Q lane pair one chunk is deinterleaved into.
+// Pooled because the lanes cross the demapKernel indirection (escape
+// analysis cannot keep them on the stack through a function value), and
+// DemapInto must stay allocation free on the blind-decode hot path.
+type chunkLanes struct{ re, im [ChunkWidth]float64 }
+
+var lanePool = sync.Pool{New: func() any { return new(chunkLanes) }}
+
+// Positive per-axis PAM amplitudes in ascending order, taken verbatim
+// from pamTables (initKernels) so the kernels use bit-identical level
+// values to the reference scan: lv16 = {d, 3d}, lv64 = {d..7d},
+// lv256 = {d..15d} with d the per-scheme normalisation.
+var (
+	lv16  [2]float64
+	lv64  [4]float64
+	lv256 [8]float64
+)
+
+// initKernels extracts the positive level ladders from the freshly built
+// pamTables. Called from the package init in modulation.go, after the
+// tables exist (file-order init would run this file's init first).
+func initKernels() {
+	fill := func(s Scheme, out []float64) {
+		levels, _ := pamTable(s)
+		n := 0
+		for _, lv := range levels {
+			if lv > 0 {
+				out[n] = lv
+				n++
+			}
+		}
+		if n != len(out) {
+			panic("modulation: PAM table has unexpected level count")
+		}
+		// ascending: insertion sort over <= 8 entries
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+	}
+	fill(QAM16, lv16[:])
+	fill(QAM64, lv64[:])
+	fill(QAM256, lv256[:])
+}
+
+// demapChunkQPSK is the PR-5 closed-form QPSK fast path in lane form: one
+// level per sign, so the max-log LLR collapses to 4·a·y/n0.
+func demapChunkQPSK(dst []float64, re, im []float64, n0 float64) {
+	scale := 4 * qpskAmp / n0
+	for i, y := range re {
+		dst[2*i] = saturate(scale * y)
+		dst[2*i+1] = saturate(scale * im[i])
+	}
+}
+
+// demapAxis16 writes the two LLRs of one 16QAM axis at o[off], o[off+2].
+//
+// Gray magnitudes by b1: 0 -> d, 1 -> 3d. Classes: b0 splits by sign,
+// b1 by magnitude {d} vs {3d}; each class minimum is a one-deep min-tree
+// over exact squared distances.
+func demapAxis16(o []float64, off int, y, n0 float64) {
+	l1, l3 := lv16[0], lv16[1]
+	d1 := y - l1
+	d3 := y - l3
+	e1 := y + l1
+	e3 := y + l3
+	m1 := d1 * d1
+	m3 := d3 * d3
+	w1 := e1 * e1
+	w3 := e3 * e3
+	o[off] = saturate((min(w1, w3) - min(m1, m3)) / n0)
+	o[off+2] = saturate((min(m3, w3) - min(m1, w1)) / n0)
+}
+
+func demapChunk16(dst []float64, re, im []float64, n0 float64) {
+	for i, y := range re {
+		o := dst[4*i : 4*i+4 : 4*i+4]
+		demapAxis16(o, 0, y, n0)
+		demapAxis16(o, 1, im[i], n0)
+	}
+}
+
+// demapAxis64 writes the three LLRs of one 64QAM axis at o[off], o[off+2],
+// o[off+4].
+//
+// Gray magnitudes by (b1,b2): 00 -> 3d, 01 -> d, 10 -> 5d, 11 -> 7d.
+// Per-bit classes over magnitudes: b1: {d,3d} vs {5d,7d};
+// b2: {3d,5d} vs {d,7d}; b0 splits by sign. s_k = min over the ±k·d pair.
+func demapAxis64(o []float64, off int, y, n0 float64) {
+	l1, l3, l5, l7 := lv64[0], lv64[1], lv64[2], lv64[3]
+	d1 := y - l1
+	d3 := y - l3
+	d5 := y - l5
+	d7 := y - l7
+	e1 := y + l1
+	e3 := y + l3
+	e5 := y + l5
+	e7 := y + l7
+	m1 := d1 * d1
+	m3 := d3 * d3
+	m5 := d5 * d5
+	m7 := d7 * d7
+	w1 := e1 * e1
+	w3 := e3 * e3
+	w5 := e5 * e5
+	w7 := e7 * e7
+	s1 := min(m1, w1)
+	s3 := min(m3, w3)
+	s5 := min(m5, w5)
+	s7 := min(m7, w7)
+	pos := min(min(m1, m3), min(m5, m7))
+	neg := min(min(w1, w3), min(w5, w7))
+	o[off] = saturate((neg - pos) / n0)
+	o[off+2] = saturate((min(s5, s7) - min(s1, s3)) / n0)
+	o[off+4] = saturate((min(s1, s7) - min(s3, s5)) / n0)
+}
+
+func demapChunk64(dst []float64, re, im []float64, n0 float64) {
+	for i, y := range re {
+		o := dst[6*i : 6*i+6 : 6*i+6]
+		demapAxis64(o, 0, y, n0)
+		demapAxis64(o, 1, im[i], n0)
+	}
+}
+
+// demapAxis256 writes the four LLRs of one 256QAM axis at o[off],
+// o[off+2], o[off+4], o[off+6].
+//
+// Gray magnitudes by (b1,b2,b3): b1=0 -> {5,7,3,1}d, b1=1 -> {11,9,13,15}d
+// (in b2b3 order 00,01,10,11). Per-bit magnitude classes:
+// b1: {1,3,5,7} vs {9,11,13,15}; b2: {5,7,9,11} vs {1,3,13,15};
+// b3: {3,5,11,13} vs {1,7,9,15}; b0 splits by sign.
+func demapAxis256(o []float64, off int, y, n0 float64) {
+	l01, l03, l05, l07 := lv256[0], lv256[1], lv256[2], lv256[3]
+	l09, l11, l13, l15 := lv256[4], lv256[5], lv256[6], lv256[7]
+	d01 := y - l01
+	d03 := y - l03
+	d05 := y - l05
+	d07 := y - l07
+	d09 := y - l09
+	d11 := y - l11
+	d13 := y - l13
+	d15 := y - l15
+	e01 := y + l01
+	e03 := y + l03
+	e05 := y + l05
+	e07 := y + l07
+	e09 := y + l09
+	e11 := y + l11
+	e13 := y + l13
+	e15 := y + l15
+	m01 := d01 * d01
+	m03 := d03 * d03
+	m05 := d05 * d05
+	m07 := d07 * d07
+	m09 := d09 * d09
+	m11 := d11 * d11
+	m13 := d13 * d13
+	m15 := d15 * d15
+	w01 := e01 * e01
+	w03 := e03 * e03
+	w05 := e05 * e05
+	w07 := e07 * e07
+	w09 := e09 * e09
+	w11 := e11 * e11
+	w13 := e13 * e13
+	w15 := e15 * e15
+	s01 := min(m01, w01)
+	s03 := min(m03, w03)
+	s05 := min(m05, w05)
+	s07 := min(m07, w07)
+	s09 := min(m09, w09)
+	s11 := min(m11, w11)
+	s13 := min(m13, w13)
+	s15 := min(m15, w15)
+	pos := min(min(min(m01, m03), min(m05, m07)), min(min(m09, m11), min(m13, m15)))
+	neg := min(min(min(w01, w03), min(w05, w07)), min(min(w09, w11), min(w13, w15)))
+	o[off] = saturate((neg - pos) / n0)
+	o[off+2] = saturate((min(min(s09, s11), min(s13, s15)) - min(min(s01, s03), min(s05, s07))) / n0)
+	o[off+4] = saturate((min(min(s01, s03), min(s13, s15)) - min(min(s05, s07), min(s09, s11))) / n0)
+	o[off+6] = saturate((min(min(s01, s07), min(s09, s15)) - min(min(s03, s05), min(s11, s13))) / n0)
+}
+
+func demapChunk256(dst []float64, re, im []float64, n0 float64) {
+	for i, y := range re {
+		o := dst[8*i : 8*i+8 : 8*i+8]
+		demapAxis256(o, 0, y, n0)
+		demapAxis256(o, 1, im[i], n0)
+	}
+}
+
+// demapReference is the pre-kernel implementation of DemapInto, retained
+// verbatim as the golden reference for the chunked kernels: the QPSK
+// closed form plus the demapAxis level-scan for the QAM schemes, under the
+// same n0 floor and LLR saturation policy. The chunked kernels must match
+// it bit for bit on every input (kernels_test.go); it also serves as the
+// baseline arm of the BenchmarkDemap family that CI's demap gate checks
+// the kernels against.
+func demapReference(dst []float64, s Scheme, symbols []complex128, n0 float64) []float64 {
+	if !(n0 >= MinN0) { // the negated form also catches NaN
+		n0 = MinN0
+	}
+	qm := s.BitsPerSymbol()
+	if cap(dst) < len(symbols)*qm {
+		dst = make([]float64, len(symbols)*qm)
+	}
+	dst = dst[:len(symbols)*qm]
+	if s == QPSK {
+		scale := 4 * qpskAmp / n0
+		for k, sym := range symbols {
+			dst[2*k] = saturate(scale * real(sym))
+			dst[2*k+1] = saturate(scale * imag(sym))
+		}
+		return dst
+	}
+	half := s.pamBits()
+	levels, labels := pamTable(s)
+	for k, sym := range symbols {
+		demapAxis(real(sym), levels, labels, half, n0, dst[k*qm:], 0)
+		demapAxis(imag(sym), levels, labels, half, n0, dst[k*qm:], 1)
+	}
+	for i, v := range dst {
+		dst[i] = saturate(v)
+	}
+	return dst
+}
+
+// isFinite reports whether v is a finite float64 (used by tests and the
+// saturation contract).
+func isFinite(v float64) bool { return !math.IsInf(v, 0) && !math.IsNaN(v) }

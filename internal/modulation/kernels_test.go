@@ -1,0 +1,189 @@
+package modulation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"nrscope/internal/raceflag"
+)
+
+// chunkEdgeCounts exercises every chunk-boundary shape: below, at, and
+// just above one chunk, plus a multi-chunk count with a ragged tail.
+var chunkEdgeCounts = []int{1, ChunkWidth - 1, ChunkWidth, ChunkWidth + 1, 3*ChunkWidth + 5}
+
+// TestChunkedMatchesReference is the golden-equivalence property test:
+// over every scheme, chunk-boundary symbol count and a sweep of noise
+// variances (including one below the MinN0 floor), the chunked kernels
+// must reproduce the retained reference level-scan bit for bit.
+func TestChunkedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n0s := []float64{1e-9, 1e-3, 0.01, 0.3, 1.0, 7.5}
+	for _, s := range allSchemes {
+		for _, n := range chunkEdgeCounts {
+			for _, n0 := range n0s {
+				syms := make([]complex128, n)
+				for i := range syms {
+					// Mix constellation-scale and wild amplitudes so the
+					// saturation path is covered too.
+					amp := 1.0
+					if rng.Intn(8) == 0 {
+						amp = 1e7
+					}
+					syms[i] = complex(rng.NormFloat64()*amp, rng.NormFloat64()*amp)
+				}
+				got := DemapInto(nil, s, syms, n0)
+				want := demapReference(nil, s, syms, n0)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%v n=%d n0=%g: LLR %d chunked %v != reference %v",
+							s, n, n0, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChunkedMatchesReferenceRandomSNRs drives the same equivalence with
+// randomised SNRs and symbol counts, as a guard against shapes the fixed
+// grid above misses.
+func TestChunkedMatchesReferenceRandomSNRs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		s := allSchemes[rng.Intn(len(allSchemes))]
+		n := 1 + rng.Intn(4*ChunkWidth)
+		n0 := math.Pow(10, rng.Float64()*6-4) // 1e-4 .. 1e2
+		syms := noisySymbols(rng, n)
+		got := DemapInto(nil, s, syms, n0)
+		want := demapReference(nil, s, syms, n0)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d %v n=%d n0=%g: LLR %d chunked %v != reference %v",
+					trial, s, n, n0, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestHardDecisionRoundTripAllPoints is the exhaustive constellation
+// sweep: every label of every scheme, mapped to its exact constellation
+// point, must hard-decide back to itself through the chunked demap.
+func TestHardDecisionRoundTripAllPoints(t *testing.T) {
+	for _, s := range allSchemes {
+		qm := s.BitsPerSymbol()
+		n := 1 << uint(qm)
+		all := make([]uint8, 0, n*qm)
+		for v := 0; v < n; v++ {
+			for j := 0; j < qm; j++ {
+				all = append(all, uint8(v>>uint(qm-1-j))&1)
+			}
+		}
+		syms := Map(s, all)
+		got := HardDecision(DemapInto(nil, s, syms, 0.1))
+		for i := range all {
+			if got[i] != all[i] {
+				t.Fatalf("%v: bit %d of exhaustive round trip flipped", s, i)
+			}
+		}
+	}
+}
+
+// TestDemapN0FloorAndSaturation is the regression test for the n0 <= 0
+// clamp: a zero (or negative, or NaN) noise variance must not produce
+// unbounded LLRs, and every output must respect the MaxLLR saturation so
+// downstream Viterbi branch-metric sums cannot overflow to ±Inf.
+func TestDemapN0FloorAndSaturation(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, s := range allSchemes {
+		for _, n0 := range []float64{0, -1, 1e-300, math.NaN()} {
+			syms := noisySymbols(rng, 2*ChunkWidth+3)
+			llr := DemapInto(nil, s, syms, n0)
+			for i, v := range llr {
+				if !isFinite(v) || math.Abs(v) > MaxLLR {
+					t.Fatalf("%v n0=%v: LLR %d = %v escapes saturation", s, n0, i, v)
+				}
+			}
+			// The floor must preserve decisions: an exact constellation
+			// point still hard-decides to itself at n0 = 0.
+			bits := make([]uint8, s.BitsPerSymbol())
+			point := Map(s, bits)
+			got := HardDecision(DemapInto(nil, s, point, n0))
+			for i := range bits {
+				if got[i] != bits[i] {
+					t.Fatalf("%v n0=%v: clamped demap flipped bit %d", s, n0, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDemapNonFiniteSymbols: Inf/NaN symbol components must demap to
+// finite, saturated LLRs (NaN to 0), matching the reference policy.
+func TestDemapNonFiniteSymbols(t *testing.T) {
+	bad := []complex128{
+		complex(math.Inf(1), 0.3),
+		complex(math.Inf(-1), math.Inf(1)),
+		complex(math.NaN(), -0.7),
+		complex(0.2, math.NaN()),
+		complex(math.NaN(), math.NaN()),
+		complex(1e308, -1e308),
+	}
+	for _, s := range allSchemes {
+		got := DemapInto(nil, s, bad, 0.5)
+		want := demapReference(nil, s, bad, 0.5)
+		for i, v := range got {
+			if !isFinite(v) || math.Abs(v) > MaxLLR {
+				t.Fatalf("%v: LLR %d = %v not finite/saturated", s, i, v)
+			}
+			if v != want[i] {
+				t.Fatalf("%v: LLR %d chunked %v != reference %v", s, i, v, want[i])
+			}
+		}
+	}
+}
+
+// TestDemapIntoChunkedZeroAlloc: the chunk driver must stay allocation
+// free with a reused destination across every scheme and a ragged count.
+func TestDemapIntoChunkedZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	rng := rand.New(rand.NewSource(44))
+	for _, s := range allSchemes {
+		syms := noisySymbols(rng, 3*ChunkWidth+5)
+		dst := DemapInto(nil, s, syms, 0.4)
+		if n := testing.AllocsPerRun(100, func() {
+			dst = DemapInto(dst, s, syms, 0.4)
+		}); n != 0 {
+			t.Errorf("%v: chunked DemapInto %.1f allocs/op, want 0", s, n)
+		}
+	}
+}
+
+// BenchmarkDemap is the per-scheme kernel family CI's demap gate runs:
+// the chunked kernels against the retained reference level-scan, both
+// into reused destinations (0 allocs/op is part of the gate).
+func BenchmarkDemap(b *testing.B) {
+	rng := rand.New(rand.NewSource(45))
+	const nSyms = 4096
+	syms := noisySymbols(rng, nSyms)
+	for _, s := range allSchemes {
+		dst := make([]float64, nSyms*s.BitsPerSymbol())
+		b.Run(fmt.Sprintf("scheme=%s/kernel=chunked", s), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(nSyms * 16))
+			for i := 0; i < b.N; i++ {
+				dst = DemapInto(dst, s, syms, 0.3)
+			}
+		})
+		b.Run(fmt.Sprintf("scheme=%s/kernel=reference", s), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(nSyms * 16))
+			for i := 0; i < b.N; i++ {
+				dst = demapReference(dst, s, syms, 0.3)
+			}
+		})
+	}
+}

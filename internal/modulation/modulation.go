@@ -134,9 +134,16 @@ func Demap(s Scheme, symbols []complex128, n0 float64) []float64 {
 // DemapInto is Demap writing into dst (reused when its capacity covers
 // len(symbols)·Qm, so per-candidate demapping on the blind-decode hot
 // path is allocation free). It returns the LLR slice.
+//
+// Symbols are processed in fixed-width chunks through flat I/Q lanes by
+// the per-constellation kernels in kernels.go, whose LLRs are
+// bit-identical to the retained reference level-scan. n0 is clamped to
+// MinN0 (NaN included) and every LLR is saturated into [-MaxLLR, MaxLLR]
+// with non-finite values mapped to 0, so downstream branch-metric sums
+// stay finite for any input.
 func DemapInto(dst []float64, s Scheme, symbols []complex128, n0 float64) []float64 {
-	if n0 <= 0 {
-		n0 = 1e-12
+	if !(n0 >= MinN0) { // the negated form also catches NaN
+		n0 = MinN0
 	}
 	qm := s.BitsPerSymbol()
 	if cap(dst) < len(symbols)*qm {
@@ -144,20 +151,31 @@ func DemapInto(dst []float64, s Scheme, symbols []complex128, n0 float64) []floa
 	}
 	dst = dst[:len(symbols)*qm]
 	if s == QPSK {
-		// One level per sign: the max-log LLR collapses to 4·a·y/n0.
+		// One level per sign: the max-log LLR collapses to 4·a·y/n0, one
+		// multiply per bit, so a lane deinterleave would only add copies.
+		// This scalar closed form is the prototype the QAM lane kernels
+		// generalise; it is bit-identical to the reference by definition.
 		scale := 4 * qpskAmp / n0
 		for k, sym := range symbols {
-			dst[2*k] = scale * real(sym)
-			dst[2*k+1] = scale * imag(sym)
+			dst[2*k] = saturate(scale * real(sym))
+			dst[2*k+1] = saturate(scale * imag(sym))
 		}
 		return dst
 	}
-	half := s.pamBits()
-	levels, labels := pamTable(s)
-	for k, sym := range symbols {
-		demapAxis(real(sym), levels, labels, half, n0, dst[k*qm:], 0)
-		demapAxis(imag(sym), levels, labels, half, n0, dst[k*qm:], 1)
+	kern := demapKernels[s.pamBits()]
+	lanes := lanePool.Get().(*chunkLanes)
+	for base := 0; base < len(symbols); base += ChunkWidth {
+		n := len(symbols) - base
+		if n > ChunkWidth {
+			n = ChunkWidth
+		}
+		for i, sym := range symbols[base : base+n] {
+			lanes.re[i] = real(sym)
+			lanes.im[i] = imag(sym)
+		}
+		kern(dst[base*qm:(base+n)*qm], lanes.re[:n], lanes.im[:n], n0)
 	}
+	lanePool.Put(lanes)
 	return dst
 }
 
@@ -211,6 +229,7 @@ func init() {
 		pamTables[half].levels = levels
 		pamTables[half].labels = labels
 	}
+	initKernels() // the kernels' level ladders come from the tables above
 }
 
 // pamTable returns the cached normalised PAM levels of one axis together

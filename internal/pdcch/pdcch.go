@@ -322,7 +322,11 @@ func (c *Codec) DecodeCandidateInto(dst []uint8, g *phy.Grid, cs phy.CORESET, ca
 		sc = &decodeScratch{}
 	}
 	if cap(sc.syms) < len(lay.data) {
-		sc.syms = make([]complex128, len(lay.data))
+		// Round the scratch up to whole demap chunks so capacities stay
+		// stable across aggregation levels (a level-16 candidate reuses
+		// the same buffers a level-4 one grew).
+		n := (len(lay.data) + modulation.ChunkWidth - 1) &^ (modulation.ChunkWidth - 1)
+		sc.syms = make([]complex128, n)
 	}
 	syms := sc.syms[:len(lay.data)]
 	for i, re := range lay.data {
@@ -332,11 +336,7 @@ func (c *Codec) DecodeCandidateInto(dst []uint8, g *phy.Grid, cs phy.CORESET, ca
 	sc.llr = llr
 	// Descramble in the LLR domain: a scrambling bit of 1 flips the sign.
 	seq := c.goldSeq(bits.PDCCHScramblingInit(0, c.cellID), len(llr))
-	for i := range llr {
-		if seq[i] == 1 {
-			llr[i] = -llr[i]
-		}
-	}
+	bits.DescrambleLLRInPlace(seq, llr)
 	out := pc.DecodeInto(dst, llr)
 	c.scratch.Put(sc)
 	return out, nil

@@ -1,0 +1,128 @@
+package pdsch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"nrscope/internal/phy"
+	"nrscope/internal/raceflag"
+)
+
+// TestDecodeIntoMatchesDecode: the pooled-scratch path must return the
+// same payload and verdict as the allocating wrapper, and reuse the
+// caller's byte buffer.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := phy.NewGrid(51)
+	grant := controlGrant(t, 0x4601, 12, 6)
+	payload := []byte("MSG4: RRC Setup payload for hot path equivalence")
+	if err := Encode(g, grant, payload, cellID); err != nil {
+		t.Fatal(err)
+	}
+	n0 := addNoise(g, 18, rng)
+
+	want, wantOK := Decode(g, grant, cellID, n0)
+	buf := make([]byte, 0, 8) // deliberately too small: must grow once
+	got, gotOK := DecodeInto(buf, g, grant, cellID, n0)
+	if gotOK != wantOK {
+		t.Fatalf("DecodeInto ok = %v, Decode ok = %v", gotOK, wantOK)
+	}
+	if wantOK && !bytes.Equal(got, want) {
+		t.Fatalf("DecodeInto payload %x != Decode payload %x", got, want)
+	}
+
+	// Failure path must keep the buffer's capacity for the next slot.
+	// (An exactly-silent grid trivially "decodes" to the all-zero block,
+	// so the failure case is a noise-only grid.)
+	empty := phy.NewGrid(51)
+	noiseN0 := addNoise(empty, 10, rng)
+	out, ok := DecodeInto(got, empty, grant, cellID, noiseN0)
+	if ok {
+		t.Fatal("DecodeInto succeeded on a silent grid")
+	}
+	if len(out) != 0 || cap(out) < cap(got) {
+		t.Fatalf("failed DecodeInto returned len %d cap %d, want empty with cap >= %d",
+			len(out), cap(out), cap(got))
+	}
+}
+
+// TestDecodePBCHIntoMatchesDecodePBCH mirrors the equivalence test for
+// the MIB path.
+func TestDecodePBCHIntoMatchesDecodePBCH(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := phy.NewGrid(51)
+	mib := []byte{0x12, 0x34, 0x56, 0x78}
+	if err := EncodePBCH(g, mib, cellID); err != nil {
+		t.Fatal(err)
+	}
+	n0 := addNoise(g, 15, rng)
+	want, wantOK := DecodePBCH(g, cellID, n0)
+	got, gotOK := DecodePBCHInto(nil, g, cellID, n0)
+	if gotOK != wantOK {
+		t.Fatalf("DecodePBCHInto ok = %v, DecodePBCH ok = %v", gotOK, wantOK)
+	}
+	if wantOK && !bytes.Equal(got, want) {
+		t.Fatalf("DecodePBCHInto payload %x != DecodePBCH payload %x", got, want)
+	}
+}
+
+// TestDecodeIntoZeroAlloc: at steady state (warm scratch pool, grown
+// byte buffer) the per-slot decode paths must not allocate.
+func TestDecodeIntoZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	rng := rand.New(rand.NewSource(23))
+	g := phy.NewGrid(51)
+	grant := controlGrant(t, 0x4601, 12, 6)
+	payload := []byte("steady state transport block")
+	if err := Encode(g, grant, payload, cellID); err != nil {
+		t.Fatal(err)
+	}
+	n0 := addNoise(g, 18, rng)
+	buf, ok := DecodeInto(nil, g, grant, cellID, n0) // warm pool + buffer
+	if !ok {
+		t.Fatal("warm-up decode failed")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		buf, _ = DecodeInto(buf, g, grant, cellID, n0)
+	}); n != 0 {
+		t.Errorf("DecodeInto: %.1f allocs/op, want 0", n)
+	}
+
+	pb := phy.NewGrid(51)
+	if err := EncodePBCH(pb, []byte{1, 2, 3, 4}, cellID); err != nil {
+		t.Fatal(err)
+	}
+	pn0 := addNoise(pb, 15, rng)
+	mibBuf, ok := DecodePBCHInto(nil, pb, cellID, pn0)
+	if !ok {
+		t.Fatal("warm-up PBCH decode failed")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		mibBuf, _ = DecodePBCHInto(mibBuf, pb, cellID, pn0)
+	}); n != 0 {
+		t.Errorf("DecodePBCHInto: %.1f allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkDecodeControlPDSCH measures the steady-state decode path.
+func BenchmarkDecodeControlPDSCH(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	g := phy.NewGrid(51)
+	grant := controlGrant(b, 0x4601, 12, 6)
+	if err := Encode(g, grant, []byte("bench transport block"), cellID); err != nil {
+		b.Fatal(err)
+	}
+	n0 := addNoise(g, 18, rng)
+	buf, ok := DecodeInto(nil, g, grant, cellID, n0)
+	if !ok {
+		b.Fatal("decode failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = DecodeInto(buf, g, grant, cellID, n0)
+	}
+}

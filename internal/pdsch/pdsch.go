@@ -12,6 +12,7 @@ package pdsch
 
 import (
 	"fmt"
+	"sync"
 
 	"nrscope/internal/bits"
 	"nrscope/internal/convcode"
@@ -19,6 +20,39 @@ import (
 	"nrscope/internal/modulation"
 	"nrscope/internal/phy"
 )
+
+// decodeScratch holds the per-decode buffers (symbols, LLRs, scrambling
+// sequence, Viterbi trellis) so the per-slot decode paths allocate
+// nothing at steady state. Pooled because SIB1/MSG4 decodes can run from
+// multiple cell goroutines.
+type decodeScratch struct {
+	syms []complex128
+	llr  []float64
+	seq  []uint8
+	vit  convcode.Workspace
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
+// roundChunk rounds n up to a multiple of the demap chunk width so the
+// scratch capacities stay stable across differently sized grants.
+func roundChunk(n int) int {
+	return (n + modulation.ChunkWidth - 1) &^ (modulation.ChunkWidth - 1)
+}
+
+func (sc *decodeScratch) symbols(n int) []complex128 {
+	if cap(sc.syms) < n {
+		sc.syms = make([]complex128, roundChunk(n))
+	}
+	return sc.syms[:n]
+}
+
+func (sc *decodeScratch) sequence(n int) []uint8 {
+	if cap(sc.seq) < n {
+		sc.seq = make([]uint8, roundChunk(n))
+	}
+	return sc.seq[:n]
+}
 
 // allocationREs enumerates the REs of a grant's time-frequency
 // allocation in mapping order (symbol-major), limited to the first n.
@@ -67,40 +101,70 @@ func Encode(g *phy.Grid, grant dci.Grant, payload []byte, cellID uint16) error {
 	return nil
 }
 
+// gatherAllocation copies the symbols of a grant's time-frequency
+// allocation into syms in mapping order (symbol-major). It reports
+// whether the allocation holds at least len(syms) REs.
+func gatherAllocation(g *phy.Grid, grant dci.Grant, syms []complex128) bool {
+	n := len(syms)
+	i := 0
+	for sym := grant.Time.StartSymbol; sym < grant.Time.StartSymbol+grant.Time.NumSymbols; sym++ {
+		for prb := grant.StartPRB; prb < grant.StartPRB+grant.NumPRB; prb++ {
+			base := prb * phy.SubcarriersPerPRB
+			for off := 0; off < phy.SubcarriersPerPRB; off++ {
+				if i == n {
+					return true
+				}
+				syms[i] = g.At(sym, base+off)
+				i++
+			}
+		}
+	}
+	return i == n
+}
+
 // Decode extracts and decodes a transport block addressed by the grant,
 // returning the payload bytes (the TBS payload, CRC-verified) and
 // whether the CRC passed.
 func Decode(g *phy.Grid, grant dci.Grant, cellID uint16, n0 float64) ([]byte, bool) {
-	if grant.TBS < 24 {
-		return nil, false
-	}
-	scheme, err := modulation.FromQm(grant.Qm)
-	if err != nil {
-		return nil, false
-	}
-	nSyms := grant.NBits / grant.Qm
-	res := allocationREs(grant, nSyms)
-	if len(res) < nSyms {
-		return nil, false
-	}
-	syms := make([]complex128, nSyms)
-	for i, re := range res {
-		syms[i] = g.At(re.Symbol, re.Subcarrier)
-	}
-	llr := modulation.Demap(scheme, syms, n0)
-	seq := bits.GoldSequence(bits.PDSCHScramblingInit(grant.RNTI, cellID), len(llr))
-	for i := range llr {
-		if seq[i] == 1 {
-			llr[i] = -llr[i]
-		}
-	}
-	blockLen := grant.TBS // TB payload + CRC24A
-	decoded := convcode.RecoverAndDecode(llr, blockLen)
-	payload, ok := bits.CheckCRC(bits.CRC24A, decoded)
+	out, ok := DecodeInto(nil, g, grant, cellID, n0)
 	if !ok {
 		return nil, false
 	}
-	return bits.Pack(payload), true
+	return out, true
+}
+
+// DecodeInto is Decode appending the payload bytes to dst[:0], so
+// per-slot callers can retain one byte buffer across slots and decode
+// without allocating. On failure it returns dst[:0] (capacity retained)
+// and false. All intermediate buffers come from a package-level scratch
+// pool.
+func DecodeInto(dst []byte, g *phy.Grid, grant dci.Grant, cellID uint16, n0 float64) ([]byte, bool) {
+	dst = dst[:0]
+	if grant.TBS < 24 {
+		return dst, false
+	}
+	scheme, err := modulation.FromQm(grant.Qm)
+	if err != nil {
+		return dst, false
+	}
+	nSyms := grant.NBits / grant.Qm
+	sc := scratchPool.Get().(*decodeScratch)
+	defer scratchPool.Put(sc)
+	syms := sc.symbols(nSyms)
+	if !gatherAllocation(g, grant, syms) {
+		return dst, false
+	}
+	llr := modulation.DemapInto(sc.llr, scheme, syms, n0)
+	sc.llr = llr
+	seq := sc.sequence(len(llr))
+	bits.GoldSequenceInto(bits.PDSCHScramblingInit(grant.RNTI, cellID), seq)
+	bits.DescrambleLLRInPlace(seq, llr)
+	decoded := sc.vit.RecoverAndDecode(llr, grant.TBS) // TB payload + CRC24A
+	payload, ok := bits.CheckCRC(bits.CRC24A, decoded)
+	if !ok {
+		return dst, false
+	}
+	return bits.AppendPacked(dst, payload), true
 }
 
 // FillRandom occupies a grant's REs with pseudo-random unit-energy QPSK
@@ -165,22 +229,38 @@ func EncodePBCH(g *phy.Grid, mibData []byte, cellID uint16) error {
 
 // DecodePBCH attempts to decode a MIB from the PBCH region.
 func DecodePBCH(g *phy.Grid, cellID uint16, n0 float64) ([]byte, bool) {
-	res := pbchREs()
-	syms := make([]complex128, len(res))
-	for i, re := range res {
-		syms[i] = g.At(re.Symbol, re.Subcarrier)
-	}
-	llr := modulation.Demap(modulation.QPSK, syms, n0)
-	seq := bits.GoldSequence(bits.PDCCHScramblingInit(0, cellID)^0x55555, len(llr))
-	for i := range llr {
-		if seq[i] == 1 {
-			llr[i] = -llr[i]
-		}
-	}
-	decoded := convcode.RecoverAndDecode(llr, pbchBlockBits)
-	payload, ok := bits.CheckCRC(bits.CRC24A, decoded)
+	out, ok := DecodePBCHInto(nil, g, cellID, n0)
 	if !ok {
 		return nil, false
 	}
-	return bits.Pack(payload), true
+	return out, true
+}
+
+// DecodePBCHInto is DecodePBCH appending the MIB bytes to dst[:0] with
+// pooled scratch, mirroring DecodeInto: on failure it returns dst[:0]
+// (capacity retained) and false.
+func DecodePBCHInto(dst []byte, g *phy.Grid, cellID uint16, n0 float64) ([]byte, bool) {
+	dst = dst[:0]
+	const nSyms = PBCHNumPRB * phy.SubcarriersPerPRB * PBCHNumSym
+	sc := scratchPool.Get().(*decodeScratch)
+	defer scratchPool.Put(sc)
+	syms := sc.symbols(nSyms)
+	i := 0
+	for sym := PBCHStartSym; sym < PBCHStartSym+PBCHNumSym; sym++ {
+		for s := PBCHStartPRB * phy.SubcarriersPerPRB; s < (PBCHStartPRB+PBCHNumPRB)*phy.SubcarriersPerPRB; s++ {
+			syms[i] = g.At(sym, s)
+			i++
+		}
+	}
+	llr := modulation.DemapInto(sc.llr, modulation.QPSK, syms, n0)
+	sc.llr = llr
+	seq := sc.sequence(len(llr))
+	bits.GoldSequenceInto(bits.PDCCHScramblingInit(0, cellID)^0x55555, seq)
+	bits.DescrambleLLRInPlace(seq, llr)
+	decoded := sc.vit.RecoverAndDecode(llr, pbchBlockBits)
+	payload, ok := bits.CheckCRC(bits.CRC24A, decoded)
+	if !ok {
+		return dst, false
+	}
+	return bits.AppendPacked(dst, payload), true
 }

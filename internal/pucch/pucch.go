@@ -13,6 +13,7 @@ package pucch
 
 import (
 	"fmt"
+	"sync"
 
 	"nrscope/internal/bits"
 	"nrscope/internal/convcode"
@@ -119,37 +120,55 @@ func Encode(g *phy.Grid, u UCI, rnti, cellID uint16) error {
 // skipped without spending a Viterbi pass.
 const EnergyThreshold = 0.5
 
-// ResourceEnergy measures the mean RE energy of a UE's resource.
+// ResourceEnergy measures the mean RE energy of a UE's resource. It runs
+// once per tracked RNTI per uplink slot, so the RE walk is inlined
+// rather than materialised.
 func ResourceEnergy(g *phy.Grid, rnti uint16) float64 {
-	prb := ResourcePRB(rnti, g.NumPRB)
+	base := ResourcePRB(rnti, g.NumPRB) * phy.SubcarriersPerPRB
 	var e float64
-	for _, re := range resourceREsFor(prb) {
-		v := g.At(re.Symbol, re.Subcarrier)
-		e += real(v)*real(v) + imag(v)*imag(v)
+	for sym := 0; sym < ResourceSymbols; sym++ {
+		for off := 0; off < phy.SubcarriersPerPRB; off++ {
+			v := g.At(sym, base+off)
+			e += real(v)*real(v) + imag(v)*imag(v)
+		}
 	}
 	return e / resourceREs
 }
 
+// decodeScratch holds one Decode's fixed-size buffers plus the Viterbi
+// trellis, pooled so per-slot UCI decoding across tracked RNTIs is
+// allocation free.
+type decodeScratch struct {
+	syms [resourceREs]complex128
+	llr  [resourceBits]float64
+	seq  [resourceBits]uint8
+	vit  convcode.Workspace
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
 // Decode attempts to read a UE's UCI from the uplink grid. ok is false
-// when the resource is empty or the CRC fails.
+// when the resource is empty or the CRC fails. It allocates nothing at
+// steady state.
 func Decode(g *phy.Grid, rnti, cellID uint16, n0 float64) (UCI, bool) {
 	if ResourceEnergy(g, rnti) < EnergyThreshold {
 		return UCI{}, false
 	}
-	prb := ResourcePRB(rnti, g.NumPRB)
-	res := resourceREsFor(prb)
-	syms := make([]complex128, len(res))
-	for i, re := range res {
-		syms[i] = g.At(re.Symbol, re.Subcarrier)
-	}
-	llr := modulation.Demap(modulation.QPSK, syms, n0)
-	seq := bits.GoldSequence(cinit(rnti, cellID), len(llr))
-	for i := range llr {
-		if seq[i] == 1 {
-			llr[i] = -llr[i]
+	base := ResourcePRB(rnti, g.NumPRB) * phy.SubcarriersPerPRB
+	sc := scratchPool.Get().(*decodeScratch)
+	defer scratchPool.Put(sc)
+	i := 0
+	for sym := 0; sym < ResourceSymbols; sym++ {
+		for off := 0; off < phy.SubcarriersPerPRB; off++ {
+			sc.syms[i] = g.At(sym, base+off)
+			i++
 		}
 	}
-	decoded := convcode.RecoverAndDecode(llr, payloadBits+11)
+	llr := modulation.DemapInto(sc.llr[:0], modulation.QPSK, sc.syms[:], n0)
+	seq := sc.seq[:len(llr)]
+	bits.GoldSequenceInto(cinit(rnti, cellID), seq)
+	bits.DescrambleLLRInPlace(seq, llr)
+	decoded := sc.vit.RecoverAndDecode(llr, payloadBits+11)
 	payload, ok := bits.CheckCRC(bits.CRC11, decoded)
 	if !ok {
 		return UCI{}, false
