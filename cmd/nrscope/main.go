@@ -59,6 +59,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"nrscope"
@@ -89,6 +90,7 @@ func main() {
 		ues      = flag.Int("ues", 2, "number of simulated UEs")
 		duration = flag.Duration("duration", 5*time.Second, "capture duration")
 		threads  = flag.Int("threads", 1, "DCI decoding threads")
+		decodeTh = flag.Int("decode-threads", 0, "decode-pool workers for standalone runs: slot blind-decode moves off the capture loop onto a shared worker pool, cells decoding concurrently (0 = decode inline)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		logPath  = flag.String("log", "", "telemetry JSONL output file (shorthand for -sink jsonl:PATH)")
 		stream   = flag.String("stream", "", "TCP address to serve live telemetry on (shorthand for -sink tcp:ADDR)")
@@ -203,7 +205,7 @@ func main() {
 		// Multi-cell mode: the scopes do not publish to the bus
 		// themselves — the fusion aggregator mirrors the fused stream
 		// onto it, and feeds the (shared) history store directly.
-		runMultiCell(append([]string{*cellName}, fuseCells...), *ues, *duration, *seed, opts, b, store, *idleHorizon)
+		runMultiCell(append([]string{*cellName}, fuseCells...), *ues, *duration, *seed, opts, b, store, *idleHorizon, *decodeTh)
 		closeBus()
 		if store != nil {
 			printHistorySummary(store)
@@ -284,14 +286,42 @@ func main() {
 		}
 	}
 	slots := int(*duration / tb.TTI())
-	for i := 0; i < slots; i++ {
-		cap, res := tb.StepCapture()
-		if recorder != nil {
-			if err := recorder.Append(cap); err != nil {
-				log.Fatal(err)
-			}
+	if *decodeTh > 0 {
+		// Capture synthesis and blind decode overlap through the pool;
+		// per-cell slot order stays strict. The handler runs on a worker
+		// goroutine, so the run counters take a lock.
+		pool := nrscope.NewDecodePool(*decodeTh, 256)
+		var mu sync.Mutex
+		if err := pool.AddCell(cellID, tb.Scope, func(res *nrscope.SlotResult) {
+			mu.Lock()
+			handle(res)
+			mu.Unlock()
+		}); err != nil {
+			log.Fatal(err)
 		}
-		handle(res)
+		if err := pool.Start(); err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < slots; i++ {
+			cap := tb.StepRaw()
+			if recorder != nil {
+				if err := recorder.Append(cap); err != nil {
+					log.Fatal(err)
+				}
+			}
+			pool.Submit(cellID, cap)
+		}
+		pool.Close()
+	} else {
+		for i := 0; i < slots; i++ {
+			cap, res := tb.StepCapture()
+			if recorder != nil {
+				if err := recorder.Append(cap); err != nil {
+					log.Fatal(err)
+				}
+			}
+			handle(res)
+		}
 	}
 	if recorder != nil {
 		fmt.Fprintf(os.Stderr, "nrscope: recorded %d slots to %s\n", recorder.Slots(), *record)
@@ -405,6 +435,12 @@ func runSharded(cellNames []string, shards, ues int, duration time.Duration, see
 		if err != nil {
 			log.Fatalf("nrscope: sharding %q: %v", name, err)
 		}
+		// Decode-in-shard: the shard worker owning this cell runs the
+		// blind decode itself, so the capture loop below only steps the
+		// simulators and queues raw slots.
+		if err := sup.AttachScope(cfg.CellID, tb.Scope); err != nil {
+			log.Fatalf("nrscope: sharding %q: %v", name, err)
+		}
 		for u := 0; u < ues; u++ {
 			tb.AttachUE(nrscope.UEProfile{})
 		}
@@ -419,29 +455,22 @@ func runSharded(cellNames []string, shards, ues int, duration time.Duration, see
 		fmt.Fprintf(os.Stderr, "nrscope: shard rollup API on http://%s/shards\n", metricsSrv.Addr())
 	}
 
-	var records int
 	step := 50 * time.Millisecond
 	for t := time.Duration(0); t < duration; t += step {
 		for _, c := range cells {
-			id := c.id
-			c.tb.RunFor(step, func(res *nrscope.SlotResult) {
-				for _, rec := range res.Records {
-					if err := sup.Ingest(id, rec); err != nil {
-						log.Fatal(err)
-					}
+			perStep := int(step / c.tb.TTI())
+			for i := 0; i < perStep; i++ {
+				if err := sup.SubmitCapture(c.id, c.tb.StepRaw()); err != nil {
+					log.Fatal(err)
 				}
-				if res.Spare != nil {
-					_ = sup.IngestSpare(id, res.SlotIdx, res.Spare)
-				}
-				records += len(res.Records)
-			})
+			}
 		}
 	}
 	sup.Flush()
 
 	h := sup.Health()
-	fmt.Fprintf(os.Stderr, "nrscope: sharded %d records across %d cells on %d shards (%d UEs tracked)\n",
-		records, h.Cells, h.Shards, h.TrackedUEs)
+	fmt.Fprintf(os.Stderr, "nrscope: decoded %d slots across %d cells on %d shards (%d UEs tracked)\n",
+		h.DecodedSlots, h.Cells, h.Shards, h.TrackedUEs)
 	for _, ps := range h.PerShard {
 		state := "up"
 		if ps.Dead {
@@ -449,8 +478,8 @@ func runSharded(cellNames []string, shards, ues int, duration time.Duration, see
 		} else if !ps.Up {
 			state = "down"
 		}
-		fmt.Fprintf(os.Stderr, "nrscope: shard %d (%s): %d cells, %d applied, %d dropped, %d restarts, %d UEs\n",
-			ps.Shard, state, ps.Cells, ps.Applied, ps.Dropped, ps.Restarts, ps.TrackedUEs)
+		fmt.Fprintf(os.Stderr, "nrscope: shard %d (%s): %d cells, %d decoded, %d applied, %d dropped, %d restarts, %d UEs\n",
+			ps.Shard, state, ps.Cells, ps.DecodedSlots, ps.Applied, ps.Dropped, ps.Restarts, ps.TrackedUEs)
 	}
 	window := time.Duration(histCfg.BinWidth.Milliseconds()*int64(histCfg.Depth)) * time.Millisecond
 	if window <= 0 {
@@ -489,7 +518,7 @@ func runSharded(cellNames []string, shards, ues int, duration time.Duration, see
 // (one bounded copy of the bins backs both); without it the aggregator
 // owns a private store at the 10 ms correlation bin. Either way memory
 // stays flat for arbitrarily long runs.
-func runMultiCell(cellNames []string, ues int, duration time.Duration, seed int64, opts []nrscope.Option, b *bus.Bus, store *history.Store, idleHorizon time.Duration) {
+func runMultiCell(cellNames []string, ues int, duration time.Duration, seed int64, opts []nrscope.Option, b *bus.Bus, store *history.Store, idleHorizon time.Duration, decodeThreads int) {
 	agg := fusion.NewWithStore(store)
 	if idleHorizon > 0 {
 		agg.IdleHorizon = idleHorizon
@@ -524,10 +553,16 @@ func runMultiCell(cellNames []string, ues int, duration time.Duration, seed int6
 
 	var records int
 	step := 50 * time.Millisecond
-	for t := time.Duration(0); t < duration; t += step {
+	if decodeThreads > 0 {
+		// Shared decode pool: every cell's blind decode runs on the
+		// worker set, cells in parallel, slots per cell in order. The
+		// handlers feed the (single) aggregator under a lock.
+		pool := nrscope.NewDecodePool(decodeThreads, 256)
+		var mu sync.Mutex
 		for _, c := range cells {
 			id := c.id
-			c.tb.RunFor(step, func(res *nrscope.SlotResult) {
+			if err := pool.AddCell(id, c.tb.Scope, func(res *nrscope.SlotResult) {
+				mu.Lock()
 				for _, rec := range res.Records {
 					_ = agg.Ingest(id, rec)
 				}
@@ -535,7 +570,37 @@ func runMultiCell(cellNames []string, ues int, duration time.Duration, seed int6
 					store.IngestSpare(id, res.SlotIdx, res.Spare)
 				}
 				records += len(res.Records)
-			})
+				mu.Unlock()
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := pool.Start(); err != nil {
+			log.Fatal(err)
+		}
+		for t := time.Duration(0); t < duration; t += step {
+			for _, c := range cells {
+				perStep := int(step / c.tb.TTI())
+				for i := 0; i < perStep; i++ {
+					pool.Submit(c.id, c.tb.StepRaw())
+				}
+			}
+		}
+		pool.Close()
+	} else {
+		for t := time.Duration(0); t < duration; t += step {
+			for _, c := range cells {
+				id := c.id
+				c.tb.RunFor(step, func(res *nrscope.SlotResult) {
+					for _, rec := range res.Records {
+						_ = agg.Ingest(id, rec)
+					}
+					if store != nil && res.Spare != nil {
+						store.IngestSpare(id, res.SlotIdx, res.Spare)
+					}
+					records += len(res.Records)
+				})
+			}
 		}
 	}
 

@@ -20,6 +20,12 @@ var met = struct {
 	workerBusyNs   *obs.Counter
 	workerIdleNs   *obs.Counter
 
+	// Shared multi-cell decode pool.
+	poolWorkers   *obs.Gauge
+	poolSubmitted *obs.Counter
+	poolDecoded   *obs.Counter
+	poolSteals    *obs.Counter
+
 	// Scope decode path.
 	decodeLatency  *obs.Histogram
 	slots          *obs.Counter
@@ -55,6 +61,15 @@ var met = struct {
 		"nanoseconds workers spent decoding slots"),
 	workerIdleNs: obs.Default.Counter("nrscope_pipeline_worker_idle_ns_total",
 		"nanoseconds workers spent waiting for input"),
+
+	poolWorkers: obs.Default.Gauge("nrscope_decode_pool_workers",
+		"workers in the most recently started decode pool"),
+	poolSubmitted: obs.Default.Counter("nrscope_decode_pool_slots_submitted_total",
+		"captures accepted into decode pool cell queues"),
+	poolDecoded: obs.Default.Counter("nrscope_decode_pool_slots_decoded_total",
+		"captures decoded by pool workers"),
+	poolSteals: obs.Default.Counter("nrscope_decode_pool_steals_total",
+		"cell claims taken by a worker outside its home set"),
 
 	decodeLatency: obs.Default.Histogram("nrscope_scope_decode_latency_seconds",
 		"per-slot signal-processing + DCI-decoding time (Fig. 12)", obs.LatencyBuckets),

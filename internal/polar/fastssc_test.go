@@ -1,0 +1,316 @@
+package polar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"nrscope/internal/raceflag"
+)
+
+// newMaskCode builds an unpunctured code (E = N) with an arbitrary
+// frozen mask — the property tests sweep masks NewCode's PW
+// construction would never produce, so every constituent-node shape
+// (and every guard fallback) gets exercised.
+func newMaskCode(t *testing.T, frozen []bool) *Code {
+	t.Helper()
+	n := len(frozen)
+	c := &Code{E: n, N: n}
+	c.isFrozen = append([]bool(nil), frozen...)
+	for i, f := range frozen {
+		if !f {
+			c.infoPos = append(c.infoPos, i)
+		}
+	}
+	c.K = len(c.infoPos)
+	if c.K == 0 {
+		t.Fatal("mask froze every position")
+	}
+	c.finish()
+	return c
+}
+
+// llrPatterns are the adversarial channel-LLR generators the
+// equivalence tests sweep: each one targets a way the fast-SSC
+// shortcuts could diverge from the float recursion (exact zeros, ties,
+// infinities, NaN propagation) plus plain noise.
+var llrPatterns = []struct {
+	name string
+	gen  func(rng *rand.Rand, n int) []float64
+}{
+	{"gaussian", func(rng *rand.Rand, n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 4
+		}
+		return v
+	}},
+	{"ties", func(rng *rand.Rand, n int) []float64 {
+		// Equal magnitudes everywhere: every f min is a tie.
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(1 - 2*rng.Intn(2))
+		}
+		return v
+	}},
+	{"zero-heavy", func(rng *rand.Rand, n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			if rng.Intn(3) == 0 {
+				v[i] = 0
+			} else {
+				v[i] = rng.NormFloat64()
+			}
+		}
+		return v
+	}},
+	{"inf-sprinkled", func(rng *rand.Rand, n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			switch rng.Intn(8) {
+			case 0:
+				v[i] = math.Inf(1)
+			case 1:
+				v[i] = math.Inf(-1)
+			default:
+				v[i] = rng.NormFloat64() * 2
+			}
+		}
+		return v
+	}},
+	{"nan-sprinkled", func(rng *rand.Rand, n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			if rng.Intn(16) == 0 {
+				v[i] = math.NaN()
+			} else {
+				v[i] = rng.NormFloat64() * 2
+			}
+		}
+		return v
+	}},
+	{"degenerate-mix", func(rng *rand.Rand, n int) []float64 {
+		// Ties, zeros and infinities together.
+		vals := []float64{0, 0, 1, -1, 1, -1, math.Inf(1), math.Inf(-1)}
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = vals[rng.Intn(len(vals))]
+		}
+		return v
+	}},
+	{"all-zero", func(rng *rand.Rand, n int) []float64 {
+		return make([]float64, n)
+	}},
+}
+
+// checkEquivalence runs every LLR pattern through the fast-SSC path and
+// the recursive reference and requires bit-identical decisions.
+func checkEquivalence(t *testing.T, c *Code, rng *rand.Rand, trials int, label string) {
+	t.Helper()
+	var fast, ref []uint8
+	for _, pat := range llrPatterns {
+		for trial := 0; trial < trials; trial++ {
+			llr := pat.gen(rng, c.E)
+			fast = c.DecodeInto(fast, llr)
+			ref = c.decodeReferenceInto(ref, llr)
+			for i := range ref {
+				if fast[i] != ref[i] {
+					t.Fatalf("%s pattern %s trial %d: info bit %d: fast=%d reference=%d",
+						label, pat.name, trial, i, fast[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFastSSCMatchesReferenceRandomMasks sweeps random frozen masks at
+// every mother length and freeze density, so rate-0/rate-1/repetition/
+// SPC nodes appear at every size and position — including shapes the PW
+// construction never yields (info at an even position of a pair, lone
+// frozen bits deep in rate-1 regions).
+func TestFastSSCMatchesReferenceRandomMasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1701))
+	for _, n := range []int{32, 64, 128, 256, 512} {
+		for _, density := range []float64{0.1, 0.3, 0.5, 0.8, 0.95} {
+			for mask := 0; mask < 4; mask++ {
+				frozen := make([]bool, n)
+				info := 0
+				for i := range frozen {
+					frozen[i] = rng.Float64() < density
+					if !frozen[i] {
+						info++
+					}
+				}
+				if info == 0 {
+					frozen[rng.Intn(n)] = false
+				}
+				c := newMaskCode(t, frozen)
+				checkEquivalence(t, c, rng, 3,
+					fmt.Sprintf("n=%d density=%.2f mask=%d", n, density, mask))
+			}
+		}
+	}
+}
+
+// TestFastSSCMatchesReferenceCodecShapes covers every (K, E) shape the
+// PDCCH codec can request: DCI payload sizes (+24 CRC) across all five
+// aggregation levels (E = AL·108), i.e. real punctured/repeated
+// rate-matched codes rather than the E = N masks above.
+func TestFastSSCMatchesReferenceCodecShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for _, k := range []int{30, 43, 54, 64, 84, 104, 128} {
+		for _, al := range []int{1, 2, 4, 8, 16} {
+			e := al * 108
+			if !Feasible(k, e) {
+				continue
+			}
+			c, err := NewCode(k, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkEquivalence(t, c, rng, 2, fmt.Sprintf("K=%d E=%d", k, e))
+		}
+	}
+}
+
+// TestFastSSCRoundTrip: noiseless codewords decode exactly through the
+// schedule path for every codec shape (the involution-based bit
+// recovery must invert the partial sums correctly).
+func TestFastSSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var dst []uint8
+	for _, k := range []int{54, 64, 84, 104} {
+		for _, al := range []int{1, 2, 4, 8, 16} {
+			e := al * 108
+			if !Feasible(k, e) {
+				continue
+			}
+			c, err := NewCode(k, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info := randomBits(rng, k)
+			dst = c.DecodeInto(dst, bpskLLR(c.Encode(info), 6))
+			for i := range info {
+				if dst[i] != info[i] {
+					t.Fatalf("K=%d E=%d: round-trip bit %d flipped", k, e, i)
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleCoversAllKinds: the DCI-shaped codes must actually
+// contain specialized nodes — if classification regressed to emitting
+// only generic branches, the speedup claim would silently evaporate.
+func TestScheduleCoversAllKinds(t *testing.T) {
+	counts := map[uint8]int{}
+	for _, ke := range [][2]int{{64, 432}, {104, 864}, {54, 108}} {
+		c, err := NewCode(ke[0], ke[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range c.schedule {
+			counts[op.kind]++
+		}
+	}
+	for kind, name := range map[uint8]string{opRate0: "rate-0", opRate1: "rate-1", opRep: "repetition", opSPC: "SPC"} {
+		if counts[kind] == 0 {
+			t.Errorf("no %s nodes scheduled across the DCI shapes", name)
+		}
+	}
+}
+
+// TestDecodeSingleAlloc: the convenience Decode must allocate exactly
+// its result slice once the scratch pool is warm.
+func TestDecodeSingleAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates")
+	}
+	c, err := NewCode(64, 432)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	llr := bpskLLR(c.Encode(randomBits(rng, c.K)), 8)
+	c.Decode(llr) // warm the pool
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Decode(llr)
+	})
+	if allocs > 1 {
+		t.Fatalf("Decode allocates %.1f times per call, want 1 (the result slice)", allocs)
+	}
+}
+
+// BenchmarkPolarSC is the CI-gated SC-pass comparison: the fast-SSC
+// schedule sweep must beat the retained recursive reference by >= 2x at
+// 0 allocs/op (cmd/benchgate over BENCH_polar.json). Rate recovery runs
+// once outside the timer (neither decoder mutates the channel LLRs), so
+// the ratio measures the SC pass in isolation.
+func BenchmarkPolarSC(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	for _, ke := range [][2]int{{64, 432}, {104, 864}, {54, 108}} {
+		c, err := NewCode(ke[0], ke[1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		llr := bpskLLR(c.Encode(randomBits(rng, c.K)), 8)
+		for i := range llr {
+			llr[i] += rng.NormFloat64()
+		}
+		arms := []struct {
+			name string
+			pass func(s *scScratch)
+		}{
+			{"reference", func(s *scScratch) { c.scDecode(s, s.chLLR, s.sums, 0, 0) }},
+			{"fastssc", func(s *scScratch) { c.runSchedule(s) }},
+		}
+		for _, arm := range arms {
+			b.Run(fmt.Sprintf("k=%d/e=%d/impl=%s", ke[0], ke[1], arm.name), func(b *testing.B) {
+				s := c.getScratch()
+				defer c.scratch.Put(s)
+				c.prepare(s, llr)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					arm.pass(s)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPolarDecodeInto measures the full codec-facing call — rate
+// recovery + SC pass + bit extraction — per impl, the number the slot
+// loop actually pays per candidate.
+func BenchmarkPolarDecodeInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	for _, ke := range [][2]int{{64, 432}, {104, 864}} {
+		c, err := NewCode(ke[0], ke[1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		llr := bpskLLR(c.Encode(randomBits(rng, c.K)), 8)
+		for i := range llr {
+			llr[i] += rng.NormFloat64()
+		}
+		arms := []struct {
+			name string
+			fn   func(dst []uint8, llr []float64) []uint8
+		}{
+			{"reference", c.decodeReferenceInto},
+			{"fastssc", c.DecodeInto},
+		}
+		for _, arm := range arms {
+			b.Run(fmt.Sprintf("k=%d/e=%d/impl=%s", ke[0], ke[1], arm.name), func(b *testing.B) {
+				dst := make([]uint8, c.K)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dst = arm.fn(dst, llr)
+				}
+			})
+		}
+	}
+}

@@ -43,6 +43,18 @@ type Code struct {
 	isFrozen   []bool  // frozen mask over the N input positions
 	frozenUpTo []int32 // prefix sums of isFrozen, length N+1 (rate-0 pruning)
 
+	// schedule is the precomputed fast-SSC operation list (schedule.go):
+	// the decode hot path is an iterative sweep over it instead of a
+	// recursive tree walk.
+	schedule []nodeOp
+
+	// degenThresh is the magnitude (as raw exponent/mantissa bits) at or
+	// above which a channel LLR voids the fast path's no-overflow
+	// guarantee: below it, no g cascade over at most N operands can
+	// produce an infinity or NaN mid-tree, so the schedule executor may
+	// skip all NaN guards. prepare screens against it once per decode.
+	degenThresh uint64
+
 	scratch sync.Pool // *scScratch, reused across Decode calls
 }
 
@@ -159,15 +171,9 @@ func (c *Code) construct() {
 		frozenCount--
 	}
 	_ = frozenCount
-	// Prefix sums over the frozen mask let the decoder test "is the
-	// subtree [base, base+n) entirely frozen?" in O(1) (rate-0 pruning).
-	c.frozenUpTo = make([]int32, c.N+1)
-	for i, f := range c.isFrozen {
-		c.frozenUpTo[i+1] = c.frozenUpTo[i]
-		if f {
-			c.frozenUpTo[i+1]++
-		}
-	}
+	// Prefix sums over the frozen mask (O(1) all-frozen tests) and the
+	// fast-SSC node schedule both derive from the mask alone.
+	c.finish()
 }
 
 // allFrozen reports whether every input position in [base, base+n) is
@@ -236,7 +242,9 @@ func (c *Code) newScratch() *scScratch {
 
 // Decode runs successive-cancellation decoding over E channel LLRs
 // (positive LLR means bit 0 more likely) and returns the K decoded
-// information bits. It panics if len(llr) != E.
+// information bits. It panics if len(llr) != E. It delegates to
+// DecodeInto with the pooled scratch, so its only allocation is the
+// K-bit result slice itself.
 func (c *Code) Decode(llr []float64) []uint8 {
 	return c.DecodeInto(nil, llr)
 }
@@ -244,25 +252,90 @@ func (c *Code) Decode(llr []float64) []uint8 {
 // DecodeInto is Decode writing the K information bits into dst (reused
 // when its capacity suffices, so steady-state decoding is allocation
 // free). It returns the K-bit result slice.
+//
+// The hot path is the iterative fast-SSC sweep (schedule.go): terminal
+// nodes write their partial sums and recover their own input bits with
+// a local polar transform (the transform is its own inverse over
+// GF(2)), replacing the per-leaf u writes of the recursive reference.
 func (c *Code) DecodeInto(dst []uint8, llr []float64) []uint8 {
-	if len(llr) != c.E {
-		panic(fmt.Sprintf("polar: Decode got %d LLRs, code has E = %d", len(llr), c.E))
+	s := c.getScratch()
+	defer c.scratch.Put(s)
+	if c.prepare(s, llr) {
+		// Degenerate LLRs (NaN/Inf/overflow-capable): the fast path's
+		// no-NaN invariant does not hold, so run the reference, which
+		// defines the bit-exact behaviour for these inputs.
+		c.scDecode(s, s.chLLR, s.sums, 0, 0)
+	} else {
+		c.runSchedule(s)
 	}
+	return c.extract(dst, s)
+}
+
+// decodeReferenceInto mirrors DecodeInto through the retained recursive
+// reference decoder. The fast-SSC equivalence property tests and the CI
+// bench gate (BenchmarkPolarSC impl=reference) measure against it.
+func (c *Code) decodeReferenceInto(dst []uint8, llr []float64) []uint8 {
+	s := c.getScratch()
+	defer c.scratch.Put(s)
+	c.prepare(s, llr)
+	c.scDecode(s, s.chLLR, s.sums, 0, 0)
+	return c.extract(dst, s)
+}
+
+func (c *Code) getScratch() *scScratch {
 	s, _ := c.scratch.Get().(*scScratch)
 	if s == nil {
 		s = c.newScratch()
 	}
-	defer c.scratch.Put(s)
-	// Rate recovery: punctured positions get LLR 0 (erasure); repeated
-	// positions accumulate.
-	for i := range s.chLLR {
+	return s
+}
+
+// prepare rate-recovers E channel LLRs into s.chLLR: punctured
+// positions get LLR 0 (erasure); repeated positions accumulate. The
+// first wrap assigns and later wraps add in whole runs, so the hot loop
+// carries no per-bit modulo. It reports whether any recovered LLR is
+// degenerate (NaN, Inf, or large enough that the g cascade could
+// overflow) — in which case the caller must use the recursive
+// reference, whose NaN/Inf handling is the ground truth.
+func (c *Code) prepare(s *scScratch, llr []float64) bool {
+	if len(llr) != c.E {
+		panic(fmt.Sprintf("polar: Decode got %d LLRs, code has E = %d", len(llr), c.E))
+	}
+	for i := 0; i < c.punct; i++ {
 		s.chLLR[i] = 0
 	}
 	sent := c.N - c.punct
-	for i := 0; i < c.E; i++ {
-		s.chLLR[c.punct+i%sent] += llr[i]
+	dst := s.chLLR[c.punct:]
+	first := c.E
+	if first > sent {
+		first = sent
 	}
-	c.scDecode(s, s.chLLR, s.sums, 0, 0)
+	copy(dst[:first], llr[:first])
+	for i := first; i < sent; i++ {
+		dst[i] = 0
+	}
+	for off := sent; off < c.E; off += sent {
+		run := c.E - off
+		if run > sent {
+			run = sent
+		}
+		src := llr[off : off+run]
+		for i := range src {
+			dst[i] += src[i]
+		}
+	}
+	const signMask = 1 << 63
+	degenerate := false
+	for _, x := range s.chLLR {
+		if math.Float64bits(x)&^uint64(signMask) >= c.degenThresh {
+			degenerate = true
+		}
+	}
+	return degenerate
+}
+
+// extract copies the decided information bits out of s.u into dst.
+func (c *Code) extract(dst []uint8, s *scScratch) []uint8 {
 	if cap(dst) < c.K {
 		dst = make([]uint8, c.K)
 	}
@@ -273,9 +346,12 @@ func (c *Code) DecodeInto(dst []uint8, llr []float64) []uint8 {
 	return dst
 }
 
-// scDecode processes the subtree whose LLRs are llr (length N>>depth)
-// and whose leftmost leaf is input index base, writing the subtree's
-// partial sums into out.
+// scDecode is the retained recursive reference decoder: it processes
+// the subtree whose LLRs are llr (length N>>depth) and whose leftmost
+// leaf is input index base, writing the subtree's partial sums into
+// out. The fast-SSC executor (schedule.go) must stay bit-identical to
+// it on every input; it is also called directly as the fallback for
+// guarded rate-1 nodes and by decodeReferenceInto.
 func (c *Code) scDecode(s *scScratch, llr []float64, out []uint8, base, depth int) {
 	n := len(llr)
 	if n == 1 {

@@ -47,6 +47,10 @@ type (
 	Option = core.Option
 	// Pipeline is the asynchronous worker-pool front of the engine.
 	Pipeline = core.Pipeline
+	// DecodePool is the shared multi-cell decode worker pool: per-cell
+	// slot order stays strict while cells decode concurrently, with
+	// work-stealing across the registered cells.
+	DecodePool = core.DecodePool
 	// Record is one decoded DCI's telemetry row.
 	Record = telemetry.Record
 	// Capture is one received slot from the radio front end.
@@ -90,6 +94,13 @@ func New(cellID uint16, opts ...Option) *Scope { return core.New(cellID, opts...
 // NewPipeline wraps a scope in the asynchronous worker-pool pipeline.
 func NewPipeline(s *Scope, workers, queueDepth int) *Pipeline {
 	return core.NewPipeline(s, workers, queueDepth)
+}
+
+// NewDecodePool creates a shared decode pool; register each cell's
+// scope with AddCell, then Start, then feed it captures (for example
+// from Testbed.StepRaw) with Submit.
+func NewDecodePool(workers, queueDepth int) *DecodePool {
+	return core.NewDecodePool(workers, queueDepth)
 }
 
 // Preset selects one of the evaluation cells of the paper (§5.1).
@@ -228,6 +239,16 @@ func (tb *Testbed) StepCapture() (*Capture, *SlotResult) {
 	out := tb.GNB.Step()
 	cap := tb.RX.Capture(out.SlotIdx, out.Ref, out.Grid)
 	return cap, tb.Scope.ProcessSlot(cap)
+}
+
+// StepRaw advances one TTI and returns the radio capture WITHOUT
+// running the scope — for feeding a DecodePool or a shard supervisor
+// that decodes elsewhere. It disables the receiver's capture-buffer
+// recycling: queued captures must own their grids.
+func (tb *Testbed) StepRaw() *Capture {
+	tb.RX.Reuse(false)
+	out := tb.GNB.Step()
+	return tb.RX.Capture(out.SlotIdx, out.Ref, out.Grid)
 }
 
 // TTI returns the testbed cell's slot duration.
